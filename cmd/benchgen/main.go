@@ -1,0 +1,56 @@
+// Command benchgen emits the synthetic benchmark circuits as .bench
+// netlists, so they can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -circuit s1238            # sequential form
+//	benchgen -circuit s1238 -scan      # full-scan combinational view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "benchmark circuit name")
+		scan    = flag.Bool("scan", false, "emit the full-scan combinational view")
+		list    = flag.Bool("list", false, "list available circuits with their profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %6s %6s %6s %8s\n", "name", "PI", "PO", "FF", "gates")
+		for _, p := range bench.Profiles() {
+			fmt.Printf("%-8s %6d %6d %6d %8d\n", p.Name, p.Inputs, p.Outputs, p.FFs, p.Gates)
+		}
+		return
+	}
+	if *circuit == "" {
+		fmt.Fprintln(os.Stderr, "benchgen: -circuit or -list required")
+		os.Exit(1)
+	}
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	if *scan {
+		c, err = bench.ScanView(*circuit)
+	} else {
+		c, err = bench.Named(*circuit)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	if err := netlist.Write(os.Stdout, c); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+// Command reseed runs the set-covering reseeding flow end to end on a
+// benchmark circuit (or a user .bench netlist) and prints the solution.
+//
+// Usage:
+//
+//	reseed -circuit s1238 -tpg adder -cycles 64
+//	reseed -file mydesign.bench -tpg multiplier -cycles 128 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/tpg"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "s1238", "benchmark circuit name (see benchgen -list)")
+		file    = flag.String("file", "", ".bench netlist file (overrides -circuit)")
+		kind    = flag.String("tpg", "adder", "TPG kind: adder, subtracter, multiplier, lfsr")
+		cycles  = flag.Int("cycles", 64, "evolution length T per candidate triplet")
+		seed    = flag.Int64("seed", 1, "random seed")
+		solver  = flag.String("solver", "exact", "covering solver: exact, greedy, greedy-noreduce")
+		objectv = flag.String("objective", "triplets", "minimize: triplets (ROM area) or testlength")
+		noTrim  = flag.Bool("notrim", false, "keep full-length triplets (skip trailing-pattern deletion)")
+		jsonOut = flag.String("json", "", "also write the solution as JSON to this file")
+		verbose = flag.Bool("v", false, "print every selected triplet")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*file, *circuit)
+	if err != nil {
+		fail(err)
+	}
+	gen, err := tpg.ByName(*kind, len(c.Inputs))
+	if err != nil {
+		fail(err)
+	}
+	var solverKind core.SolverKind
+	switch *solver {
+	case "exact":
+		solverKind = core.SolverExact
+	case "greedy":
+		solverKind = core.SolverGreedy
+	case "greedy-noreduce":
+		solverKind = core.SolverGreedyNoReduce
+	default:
+		fail(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
+		c.Name, len(c.Inputs), len(c.Outputs), c.NumLogicGates())
+	flow, err := core.Prepare(c, atpg.Options{Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ATPG: %d patterns, %d target faults (coverage %.2f%%, %d untestable, %d aborted)\n",
+		len(flow.Patterns), len(flow.TargetFaults),
+		100*flow.ATPG.Coverage(), len(flow.ATPG.Untestable), len(flow.ATPG.Aborted))
+
+	var objective core.Objective
+	switch *objectv {
+	case "triplets":
+		objective = core.MinimizeTriplets
+	case "testlength":
+		objective = core.MinimizeTestLength
+	default:
+		fail(fmt.Errorf("unknown objective %q", *objectv))
+	}
+
+	sol, err := flow.Solve(gen, core.Options{
+		Cycles:    *cycles,
+		Seed:      *seed + 1,
+		Solver:    solverKind,
+		Objective: objective,
+		NoTrim:    *noTrim,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := sol.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("\nDetection Matrix: %d x %d, reduced to %d x %d in %d sweeps (%d dominated rows, %d implied cols)\n",
+		sol.MatrixRows, sol.MatrixCols, sol.ResidualRows, sol.ResidualCols,
+		sol.ReductionIters, sol.DominatedRows, sol.ImpliedCols)
+	fmt.Printf("solution: %d triplets (%d necessary + %d from solver), optimal=%v\n",
+		sol.NumTriplets(), sol.NumNecessary, sol.NumFromSolver, sol.Optimal)
+	fmt.Printf("global test length %d (uniform-T scheme: %d), ROM %d bits\n",
+		sol.TestLength, sol.UniformLength, sol.ROMBits)
+	fmt.Printf("effort: %d triplet simulations, %d gate evaluations\n",
+		sol.TripletSims, sol.GateEvals)
+
+	if *verbose {
+		fmt.Println()
+		t := report.NewTable("Selected triplets", "#", "necessary", "cycles", "faults", "delta (hex)", "theta (hex)")
+		for i, st := range sol.Triplets {
+			t.AddRow(
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%v", st.Necessary),
+				fmt.Sprintf("%d", st.EffectiveCycles),
+				fmt.Sprintf("%d", st.AssignedFaults),
+				st.Delta.Hex(),
+				st.Theta.Hex(),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func loadCircuit(file, circuit string) (*netlist.Circuit, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := netlist.Parse(file, f)
+		if err != nil {
+			return nil, err
+		}
+		if !c.IsCombinational() {
+			return c.FullScan()
+		}
+		return c, nil
+	}
+	return bench.ScanView(circuit)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reseed:", err)
+	os.Exit(1)
+}

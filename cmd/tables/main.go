@@ -1,0 +1,101 @@
+// Command tables regenerates the paper's evaluation artifacts: Table 1
+// (reseeding solutions vs the GATSBY baseline), Table 2 (set covering
+// anatomy) and Figure 2 (the reseedings-vs-test-length trade-off).
+//
+// Usage:
+//
+//	tables                 # Table 1+2 on the small/medium circuits, Figure 2
+//	tables -all            # the paper's full circuit list (takes many minutes)
+//	tables -table 1        # just Table 1
+//	tables -figure 2       # just Figure 2
+//	tables -circuits s420,s1238 -cycles 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// fastCircuits keeps the default invocation to a couple of minutes.
+var fastCircuits = []string{"c499", "c880", "s420", "s641", "s820", "s838", "s953", "s1238", "s1423"}
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run the paper's full Table 1 circuit list (slow)")
+		circuits = flag.String("circuits", "", "comma-separated circuit list (overrides -all)")
+		table    = flag.Int("table", 0, "render only this table (1 or 2)")
+		figure   = flag.Int("figure", 0, "render only this figure (2)")
+		cycles   = flag.Int("cycles", 64, "candidate evolution length T")
+		seed     = flag.Int64("seed", 1, "random seed")
+		noGatsby = flag.Bool("nogatsby", false, "skip the GA baseline columns")
+		workers  = flag.Int("workers", 1, "goroutines for Detection Matrix construction")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Cycles:     *cycles,
+		Seed:       *seed,
+		WithGatsby: !*noGatsby,
+		Workers:    *workers,
+	}
+	switch {
+	case *circuits != "":
+		cfg.Circuits = strings.Split(*circuits, ",")
+	case *all:
+		cfg.Circuits = experiments.Table1Circuits()
+	default:
+		cfg.Circuits = fastCircuits
+	}
+
+	wantTables := *figure == 0
+	wantFigure := *table == 0 && (*figure == 2 || *figure == 0)
+
+	if wantTables {
+		start := time.Now()
+		var results []*experiments.CircuitResult
+		for _, name := range cfg.Circuits {
+			t0 := time.Now()
+			cr, err := experiments.RunCircuit(name, cfg)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, cr)
+			fmt.Fprintf(os.Stderr, "  %-8s done in %6.1fs (|F|=%d, |ATPGTS|=%d)\n",
+				name, time.Since(t0).Seconds(), cr.Faults, cr.Patterns)
+		}
+		fmt.Fprintf(os.Stderr, "flow complete in %.1fs\n\n", time.Since(start).Seconds())
+
+		if *table == 0 || *table == 1 {
+			if err := experiments.WriteTable1(os.Stdout, results, cfg.WithGatsby); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		if *table == 0 || *table == 2 {
+			if err := experiments.WriteTable2(os.Stdout, results); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if wantFigure {
+		points, err := experiments.Figure2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteFigure2(os.Stdout, points); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

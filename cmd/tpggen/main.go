@@ -1,0 +1,98 @@
+// Command tpggen synthesizes a test pattern generator as a gate-level
+// .bench netlist (the BIST hardware a Functional BIST insertion flow would
+// instantiate), and can demonstrate it by simulating a triplet.
+//
+// Usage:
+//
+//	tpggen -tpg adder -width 16                    # netlist to stdout
+//	tpggen -tpg lfsr -width 8 -demo 6 -delta 2b    # simulate 6 cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitvec"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tpggen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("tpg", "adder", "generator kind: adder, subtracter, multiplier, lfsr")
+		width = flag.Int("width", 16, "pattern width in bits")
+		demo  = flag.Int("demo", 0, "instead of printing the netlist, simulate this many cycles")
+		delta = flag.String("delta", "1", "hex seed δ for -demo")
+		theta = flag.String("theta", "3", "hex input value θ for -demo")
+	)
+	flag.Parse()
+
+	c, err := tpggen.FromKind(*kind, *width)
+	if err != nil {
+		fail(err)
+	}
+	if *demo == 0 {
+		if err := netlist.Write(os.Stdout, c); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	d, err := parseHex(*delta, *width)
+	if err != nil {
+		fail(fmt.Errorf("-delta: %w", err))
+	}
+	th, err := parseHex(*theta, *width)
+	if err != nil {
+		fail(fmt.Errorf("-theta: %w", err))
+	}
+	sim, err := logicsim.NewSequential(c)
+	if err != nil {
+		fail(err)
+	}
+	if err := sim.SetState(d); err != nil {
+		fail(err)
+	}
+	in := bitvec.New(len(c.Inputs))
+	for i := 0; i < len(c.Inputs); i++ {
+		in.SetBit(i, th.Bit(i))
+	}
+	fmt.Printf("%s, width %d, %d gates, %d DFFs; δ=%s θ=%s\n",
+		c.Name, *width, c.NumLogicGates(), len(c.DFFs), d.Hex(), th.Hex())
+	for cyc := 0; cyc < *demo; cyc++ {
+		out, err := sim.StepOne(in)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("cycle %3d: %s\n", cyc, out.Hex())
+	}
+}
+
+func parseHex(s string, width int) (bitvec.Vector, error) {
+	v := bitvec.New(width)
+	for i := 0; i < len(s); i++ {
+		c := s[len(s)-1-i]
+		var nibble uint64
+		switch {
+		case c >= '0' && c <= '9':
+			nibble = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			nibble = uint64(c-'a') + 10
+		default:
+			return bitvec.Vector{}, fmt.Errorf("invalid hex digit %q", c)
+		}
+		for b := 0; b < 4; b++ {
+			if bit := 4*i + b; bit < width && nibble>>uint(b)&1 == 1 {
+				v.SetBit(bit, true)
+			}
+		}
+	}
+	return v, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tpggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// LFSR reseeding: the flexibility claim of the paper is that the set
+// covering formulation is not tied to any particular generator. This
+// example runs the very same flow with a multiple-polynomial LFSR — the
+// classical reseeding hardware of Hellebrand et al. — instead of an
+// arithmetic accumulator, and contrasts the two solutions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	reseeding "repro"
+)
+
+func main() {
+	scan, err := reseeding.ScanView("s641")
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("UUT %s: %d scan inputs, %d target faults, %d ATPG patterns\n\n",
+		scan.Name, len(scan.Inputs), len(flow.TargetFaults), len(flow.Patterns))
+
+	fmt.Printf("%-12s %10s %12s %12s %10s\n", "TPG", "triplets", "necessary", "test length", "optimal")
+	for _, kind := range []string{"lfsr", "adder"} {
+		gen, err := reseeding.NewTPG(kind, len(scan.Inputs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := flow.Solve(gen, reseeding.Options{Cycles: 64, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10d %12d %12d %10v\n",
+			kind, sol.NumTriplets(), sol.NumNecessary, sol.TestLength, sol.Optimal)
+	}
+
+	fmt.Println(`
+Notes: for the LFSR, θ selects one of the bank's feedback polynomials
+(multiple-polynomial reseeding); for the accumulator θ is the addend held
+in the input register. The covering model never looks inside the generator:
+it only consumes the Detection Matrix, which is why the same code minimizes
+both solutions.`)
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles() {
+		c, err := Generate(p)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		st := c.Stats()
+		if st.Inputs != p.Inputs {
+			t.Errorf("%s: inputs = %d, want %d", p.Name, st.Inputs, p.Inputs)
+		}
+		if st.Outputs != p.Outputs {
+			t.Errorf("%s: outputs = %d, want %d", p.Name, st.Outputs, p.Outputs)
+		}
+		if st.DFFs != p.FFs {
+			t.Errorf("%s: FFs = %d, want %d", p.Name, st.DFFs, p.FFs)
+		}
+		// The gate budget is approximate (cones and collector trees add a
+		// margin) but must be in the right ballpark.
+		if st.LogicGates < p.Gates || st.LogicGates > p.Gates*3/2+200 {
+			t.Errorf("%s: logic gates = %d, budget %d", p.Name, st.LogicGates, p.Gates)
+		}
+	}
+}
+
+func TestNamedUnknown(t *testing.T) {
+	if _, err := Named("c9999"); err == nil {
+		t.Fatal("expected error for unknown circuit")
+	}
+}
+
+func TestGenerateRejectsBadProfile(t *testing.T) {
+	if _, err := Generate(Profile{Name: "x", Inputs: 0, Outputs: 1, Gates: 10}); err == nil {
+		t.Error("expected error for zero inputs")
+	}
+	if _, err := Generate(Profile{Name: "x", Inputs: 1, Outputs: 0, Gates: 10}); err == nil {
+		t.Error("expected error for zero outputs")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Named("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Named("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.Format(a) != netlist.Format(b) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestDistinctCircuitsDiffer(t *testing.T) {
+	a, _ := Named("c499")
+	b, _ := Named("c1355")
+	if netlist.Format(a) == netlist.Format(b) {
+		t.Error("different circuits generated identical netlists")
+	}
+}
+
+func TestScanViewCombinational(t *testing.T) {
+	s, err := ScanView("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsCombinational() {
+		t.Fatal("scan view contains DFFs")
+	}
+	p, _ := ProfileByName("s953")
+	if got := len(s.Inputs); got != p.ScanInputs() {
+		t.Errorf("scan inputs = %d, want %d", got, p.ScanInputs())
+	}
+	if got := len(s.Outputs); got != p.Outputs+p.FFs {
+		t.Errorf("scan outputs = %d, want %d", got, p.Outputs+p.FFs)
+	}
+}
+
+func TestEveryGateReachesASink(t *testing.T) {
+	// On the scan view, every gate must have a path to some output;
+	// otherwise its faults are trivially undetectable by construction.
+	s, err := ScanView("s420")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := make([]bool, s.NumGates())
+	var stack []int
+	for _, id := range s.Outputs {
+		if !reach[id] {
+			reach[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range s.Gates[id].Fanin {
+			if !reach[f] {
+				reach[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	unreachable := 0
+	for _, g := range s.Gates {
+		if g.Type == netlist.Input {
+			continue // unused PIs are legal
+		}
+		if !reach[g.ID] {
+			unreachable++
+		}
+	}
+	if unreachable > 0 {
+		t.Errorf("%d gates cannot reach any output", unreachable)
+	}
+}
+
+// The premise of the paper: circuits contain random-resistant faults but the
+// deterministic ATPG reaches (near-)complete testable coverage.
+func TestATPGOnSmallBenchmarks(t *testing.T) {
+	for _, name := range []string{"c432", "s420", "s820"} {
+		s, err := ScanView(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults, _, err := fault.List(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := atpg.Run(s, faults, atpg.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A couple of aborts at the default backtrack limit are legitimate
+		// on the deliberately hard coincidence cones.
+		if cov := res.TestableCoverage(); cov < 0.99 {
+			t.Errorf("%s: testable coverage %.4f (aborted %d)", name, cov, len(res.Aborted))
+		}
+		if res.Stats.PodemDetected == 0 {
+			t.Errorf("%s: no deterministic contribution; circuit may be fully random testable", name)
+		}
+		if len(res.Patterns) == 0 {
+			t.Errorf("%s: empty test set", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("s1238")
+	if !ok {
+		t.Fatal("s1238 missing")
+	}
+	if p.Inputs != 14 || p.FFs != 18 {
+		t.Errorf("s1238 profile = %+v", p)
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+	if len(List()) != len(Profiles()) {
+		t.Error("List and Profiles disagree")
+	}
+}
+
+func BenchmarkGenerateC7552(b *testing.B) {
+	p, _ := ProfileByName("c7552")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(200)
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 128, 199} {
+		s.Add(i)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	if !s.Contains(64) || s.Contains(65) {
+		t.Error("Contains wrong")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 4 {
+		t.Error("Remove failed")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear failed")
+	}
+}
+
+func TestSetFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := NewSet(n)
+		s.Fill()
+		if s.Len() != n {
+			t.Errorf("Fill universe %d: Len = %d", n, s.Len())
+		}
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	s := NewSet(10)
+	for _, op := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Remove(10) },
+		func() { s.Contains(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range op did not panic")
+				}
+			}()
+			op()
+		}()
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(100)
+	b := NewSet(100)
+	for i := 0; i < 50; i++ {
+		a.Add(i)
+	}
+	for i := 25; i < 75; i++ {
+		b.Add(i)
+	}
+
+	u := a.Clone()
+	u.Or(b)
+	if u.Len() != 75 {
+		t.Errorf("union len = %d, want 75", u.Len())
+	}
+
+	x := a.Clone()
+	x.And(b)
+	if x.Len() != 25 {
+		t.Errorf("intersection len = %d, want 25", x.Len())
+	}
+	if got := a.IntersectionLen(b); got != 25 {
+		t.Errorf("IntersectionLen = %d, want 25", got)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Len() != 25 || d.Contains(30) || !d.Contains(10) {
+		t.Errorf("difference wrong: %v", d)
+	}
+
+	if !x.SubsetOf(a) || !x.SubsetOf(b) {
+		t.Error("intersection must be subset of both")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a is not a subset of b")
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b intersect")
+	}
+	empty := NewSet(100)
+	if a.Intersects(empty) {
+		t.Error("nothing intersects the empty set")
+	}
+	if !empty.SubsetOf(a) {
+		t.Error("empty set is a subset of everything")
+	}
+}
+
+func TestSetUniverseMismatchPanics(t *testing.T) {
+	a, b := NewSet(10), NewSet(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("Or with mismatched universes did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestSetForEachOrder(t *testing.T) {
+	s := NewSet(300)
+	want := []int{3, 64, 65, 127, 256}
+	for _, i := range want {
+		s.Add(i)
+	}
+	if got := s.Elements(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Elements = %v, want %v", got, want)
+	}
+	if s.First() != 3 {
+		t.Errorf("First = %d, want 3", s.First())
+	}
+	if NewSet(10).First() != -1 {
+		t.Error("First of empty set should be -1")
+	}
+}
+
+func TestSetEqualAndHash(t *testing.T) {
+	a, b := NewSet(128), NewSet(128)
+	for _, i := range []int{1, 2, 99} {
+		a.Add(i)
+		b.Add(i)
+	}
+	if !a.Equal(b) {
+		t.Error("equal sets reported unequal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal sets must hash identically")
+	}
+	b.Add(100)
+	if a.Equal(b) {
+		t.Error("unequal sets reported equal")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(10)
+	s.Add(1)
+	s.Add(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewSet(10).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// Property test: set algebra matches a reference map implementation.
+func TestSetMatchesMapModelQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	prop := func(uint8) bool {
+		n := 1 + rng.Intn(250)
+		s := NewSet(n)
+		model := map[int]bool{}
+		for op := 0; op < 100; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for _, e := range s.Elements() {
+			if !model[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identities on random sets.
+func TestSetIdentitiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randomSet := func(n int) *Set {
+		s := NewSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	prop := func(uint8) bool {
+		n := 1 + rng.Intn(200)
+		a, b := randomSet(n), randomSet(n)
+		// |a ∪ b| = |a| + |b| - |a ∩ b|
+		u := a.Clone()
+		u.Or(b)
+		if u.Len() != a.Len()+b.Len()-a.IntersectionLen(b) {
+			return false
+		}
+		// (a \ b) ∪ (a ∩ b) = a
+		d := a.Clone()
+		d.AndNot(b)
+		x := a.Clone()
+		x.And(b)
+		d.Or(x)
+		return d.Equal(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSetOr4096(b *testing.B) {
+	x, y := NewSet(4096), NewSet(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}
+
+func BenchmarkSetSubsetOf4096(b *testing.B) {
+	x, y := NewSet(4096), NewSet(4096)
+	for i := 0; i < 4096; i += 3 {
+		x.Add(i)
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.SubsetOf(y)
+	}
+}

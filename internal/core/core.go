@@ -1,0 +1,418 @@
+// Package core implements the paper's reseeding computation flow (Fig. 1):
+//
+//	Initial Reseeding Builder  →  Matrix Reducer  →  exact covering solve
+//
+// Prepare runs the gate-level ATPG once to obtain the target fault list F
+// and the deterministic test set ATPGTS. Solve then builds the Detection
+// Matrix for a chosen test pattern generator and evolution length, reduces
+// it by essentiality and dominance, solves the residual exactly, and
+// assembles the final reseeding solution: the necessary triplets plus the
+// minimum cover of the residual, with per-triplet test lengths trimmed of
+// trailing patterns that contribute no coverage.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/bitvec"
+	"repro/internal/dmatrix"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/setcover"
+	"repro/internal/tpg"
+)
+
+// SolverKind selects how the reduced matrix is post-processed.
+type SolverKind int
+
+const (
+	// SolverExact reduces the matrix and solves the residual with branch
+	// and bound (the paper's configuration, with the exact solver standing
+	// in for LINGO).
+	SolverExact SolverKind = iota
+	// SolverGreedy reduces the matrix and covers the residual greedily
+	// (ablation: value of the exact solve).
+	SolverGreedy
+	// SolverGreedyNoReduce covers the raw matrix greedily with no
+	// reduction at all (ablation: value of essentiality/dominance).
+	SolverGreedyNoReduce
+)
+
+func (k SolverKind) String() string {
+	switch k {
+	case SolverExact:
+		return "exact"
+	case SolverGreedy:
+		return "greedy"
+	case SolverGreedyNoReduce:
+		return "greedy-noreduce"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// Objective selects what the covering minimizes.
+type Objective int
+
+const (
+	// MinimizeTriplets minimizes the number of reseedings — the paper's
+	// objective, directly proportional to ROM area.
+	MinimizeTriplets Objective = iota
+	// MinimizeTestLength minimizes the summed trimmed test lengths using
+	// the weighted covering solver: each candidate is weighted by the
+	// trimmed length it would contribute. This explores the other axis of
+	// the paper's area/test-time trade-off.
+	MinimizeTestLength
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinimizeTriplets:
+		return "min-triplets"
+	case MinimizeTestLength:
+		return "min-testlength"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Options configures a Solve run.
+type Options struct {
+	// Cycles is the evolution length T applied to every candidate triplet
+	// (default 32). The paper tunes this experimentally per circuit; the
+	// trade-off between T and the number of reseedings is Figure 2.
+	Cycles int
+	// Seed drives θ selection.
+	Seed int64
+	// Solver selects the covering strategy (default SolverExact). Ignored
+	// when Objective is MinimizeTestLength, which always uses the weighted
+	// reduction + exact pipeline.
+	Solver SolverKind
+	// Objective selects the quantity minimized (default MinimizeTriplets).
+	Objective Objective
+	// NoTrim keeps every selected triplet at full length instead of
+	// deleting the trailing patterns that add no coverage.
+	NoTrim bool
+	// Workers parallelizes Detection Matrix construction (default 1). The
+	// result is identical for any worker count.
+	Workers int
+	// Exact tunes the branch-and-bound solver.
+	Exact setcover.ExactOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 32
+	}
+	return o
+}
+
+// Flow holds the per-circuit artifacts shared by every generator and every
+// evolution length: the collapsed fault list, the ATPG test set, and the
+// target fault list F it detects.
+type Flow struct {
+	Circuit *netlist.Circuit
+	// AllFaults is the collapsed stuck-at list of the circuit.
+	AllFaults []fault.Fault
+	// TargetFaults is F: the faults detected by the ATPG test set. The
+	// reseeding solution guarantees detection of exactly this list.
+	TargetFaults []fault.Fault
+	// Patterns is ATPGTS, the compacted deterministic test set.
+	Patterns []bitvec.Vector
+	// ATPG is the full ATPG outcome (coverage, untestable faults, effort).
+	ATPG *atpg.Result
+}
+
+// Prepare enumerates faults and runs the ATPG on the combinational circuit.
+func Prepare(c *netlist.Circuit, opts atpg.Options) (*Flow, error) {
+	all, _, err := fault.List(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res, err := atpg.Run(c, all, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f := &Flow{Circuit: c, AllFaults: all, ATPG: res, Patterns: res.Patterns}
+	for _, fi := range res.DetectedFaults() {
+		f.TargetFaults = append(f.TargetFaults, all[fi])
+	}
+	return f, nil
+}
+
+// SelectedTriplet is one reseeding of the final solution.
+type SelectedTriplet struct {
+	tpg.Triplet
+	// EffectiveCycles is the trimmed evolution length actually needed.
+	EffectiveCycles int
+	// Necessary reports whether the triplet was forced by essentiality
+	// (as opposed to chosen by the covering solver).
+	Necessary bool
+	// AssignedFaults is the number of target faults this triplet is
+	// responsible for in the final solution (its ΔFC contribution).
+	AssignedFaults int
+}
+
+// Solution is a computed reseeding solution and the flow statistics the
+// paper reports about it.
+type Solution struct {
+	Circuit   string
+	Generator string
+	Cycles    int // candidate evolution length T
+
+	Triplets      []SelectedTriplet
+	NumNecessary  int
+	NumFromSolver int
+	// TestLength is the paper's global test length: the sum of trimmed
+	// per-triplet lengths.
+	TestLength int
+	// UniformLength is the alternative storage scheme the paper mentions:
+	// all triplets run for the same T = max trimmed length.
+	UniformLength int
+	// ROMBits estimates storage: per triplet 2×width seed bits plus a
+	// length counter wide enough for the longest trimmed run.
+	ROMBits int
+
+	// Matrix and reduction anatomy (the paper's Table 2).
+	MatrixRows     int
+	MatrixCols     int
+	ResidualRows   int
+	ResidualCols   int
+	DominatedRows  int
+	ImpliedCols    int
+	ReductionIters int
+	SolverNodes    int64
+	Optimal        bool
+
+	// Effort counters.
+	GateEvals   int64
+	TripletSims int
+}
+
+// NumTriplets returns the solution cardinality (the paper's #Triplets).
+func (s *Solution) NumTriplets() int { return len(s.Triplets) }
+
+// Solve computes a reseeding solution for one generator and one evolution
+// length. The generator's width must match the circuit's input count.
+func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	if len(f.TargetFaults) == 0 {
+		return nil, fmt.Errorf("core: %s: empty target fault list", f.Circuit.Name)
+	}
+	if len(f.Patterns) == 0 {
+		return nil, fmt.Errorf("core: %s: empty ATPG test set", f.Circuit.Name)
+	}
+
+	m, err := dmatrix.Build(f.Circuit, f.TargetFaults, f.Patterns, gen, dmatrix.Options{
+		Cycles:               opts.Cycles,
+		Seed:                 opts.Seed,
+		RecordFirstDetection: true,
+		Workers:              opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !m.CoversAll() {
+		// Cannot happen when F comes from Prepare (δ_i = p_i guarantees
+		// coverage); guard for callers passing custom fault lists.
+		return nil, fmt.Errorf("core: %s: candidate triplets do not cover F (%d uncovered)",
+			f.Circuit.Name, len(m.UncoveredFaults()))
+	}
+
+	problem := setcover.NewProblem(m.NumFaults)
+	for _, row := range m.Rows {
+		problem.AddRow(row)
+	}
+
+	sol := &Solution{
+		Circuit:     f.Circuit.Name,
+		Generator:   gen.Name(),
+		Cycles:      opts.Cycles,
+		MatrixRows:  m.NumTriplets(),
+		MatrixCols:  m.NumFaults,
+		GateEvals:   m.GateEvals,
+		TripletSims: m.TripletSims,
+	}
+
+	var chosen []int
+	necessary := map[int]bool{}
+	if opts.Objective == MinimizeTestLength {
+		// Weight each candidate by the trimmed length it would contribute
+		// if it had to cover everything it detects.
+		weights := make([]int, m.NumTriplets())
+		for i, row := range m.Rows {
+			weights[i] = m.EffectiveLength(i, row.Elements())
+		}
+		sub, red, err := problem.SolveMinimalWeighted(weights, opts.Exact)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sol.ResidualRows = red.Residual.NumRows()
+		sol.ResidualCols = red.Residual.NumCols()
+		sol.DominatedRows = len(red.DominatedRows)
+		sol.ImpliedCols = red.ImpliedCols
+		sol.ReductionIters = red.Iterations
+		sol.SolverNodes = sub.Nodes
+		sol.Optimal = sub.Optimal
+		for _, r := range red.Essential {
+			necessary[r] = true
+		}
+		chosen = sub.Rows
+		return f.assemble(sol, m, chosen, necessary, opts)
+	}
+	switch opts.Solver {
+	case SolverGreedyNoReduce:
+		g, err := problem.SolveGreedy()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		chosen = g.Rows
+		sol.Optimal = false
+		sol.ResidualRows = m.NumTriplets()
+		sol.ResidualCols = m.NumFaults
+	case SolverGreedy, SolverExact:
+		red := problem.Reduce()
+		sol.ResidualRows = red.Residual.NumRows()
+		sol.ResidualCols = red.Residual.NumCols()
+		sol.DominatedRows = len(red.DominatedRows)
+		sol.ImpliedCols = red.ImpliedCols
+		sol.ReductionIters = red.Iterations
+		for _, r := range red.Essential {
+			necessary[r] = true
+			chosen = append(chosen, r)
+		}
+		if !red.Empty() {
+			var sub setcover.Solution
+			if opts.Solver == SolverExact {
+				sub, err = red.Residual.SolveExact(opts.Exact)
+			} else {
+				sub, err = red.Residual.SolveGreedy()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			for _, r := range sub.Rows {
+				chosen = append(chosen, red.RowMap[r])
+			}
+			sol.SolverNodes = sub.Nodes
+			sol.Optimal = opts.Solver == SolverExact && sub.Optimal
+		} else {
+			sol.Optimal = true
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown solver kind %d", int(opts.Solver))
+	}
+	return f.assemble(sol, m, chosen, necessary, opts)
+}
+
+// assemble verifies the chosen rows, assigns faults, trims test lengths and
+// fills the solution record.
+func (f *Flow) assemble(sol *Solution, m *dmatrix.Matrix, chosen []int,
+	necessary map[int]bool, opts Options) (*Solution, error) {
+
+	covered := make([]bool, m.NumFaults)
+	for _, row := range chosen {
+		m.Rows[row].ForEach(func(fi int) { covered[fi] = true })
+	}
+	for fi, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: internal error: fault %d uncovered by computed solution", fi)
+		}
+	}
+
+	// Assign each fault to the selected triplet that detects it earliest
+	// (ties to the lower triplet index); the assignment defines each
+	// triplet's ΔFC and its trimmed test length.
+	assigned := make([][]int, len(chosen))
+	for fi := 0; fi < m.NumFaults; fi++ {
+		bestT, bestAt := -1, int32(1)<<30
+		for ti, row := range chosen {
+			if !m.Rows[row].Contains(fi) {
+				continue
+			}
+			at := m.FirstDetection[row][fi]
+			if at < bestAt {
+				bestT, bestAt = ti, at
+			}
+		}
+		if bestT < 0 {
+			return nil, fmt.Errorf("core: internal error: fault %d unassigned", fi)
+		}
+		assigned[bestT] = append(assigned[bestT], fi)
+	}
+
+	maxEff := 0
+	for ti, row := range chosen {
+		eff := opts.Cycles
+		if !opts.NoTrim {
+			eff = m.EffectiveLength(row, assigned[ti])
+		}
+		if eff > maxEff {
+			maxEff = eff
+		}
+		sol.Triplets = append(sol.Triplets, SelectedTriplet{
+			Triplet:         m.Triplets[row],
+			EffectiveCycles: eff,
+			Necessary:       necessary[row],
+			AssignedFaults:  len(assigned[ti]),
+		})
+		sol.TestLength += eff
+		if necessary[row] {
+			sol.NumNecessary++
+		} else {
+			sol.NumFromSolver++
+		}
+	}
+	sol.UniformLength = maxEff * len(chosen)
+	sol.ROMBits = romBits(len(chosen), len(f.Circuit.Inputs), maxEff)
+	return sol, nil
+}
+
+// romBits models triplet storage: per reseeding both seed values (δ and θ,
+// width bits each) plus the actual cycle count, as the paper assumes.
+func romBits(triplets, width, maxCycles int) int {
+	counter := 1
+	for 1<<uint(counter) <= maxCycles {
+		counter++
+	}
+	return triplets * (2*width + counter)
+}
+
+// Run is the one-shot convenience flow: Prepare followed by Solve.
+func Run(c *netlist.Circuit, gen tpg.Generator, atpgOpts atpg.Options, opts Options) (*Solution, error) {
+	f, err := Prepare(c, atpgOpts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(gen, opts)
+}
+
+// TradeoffPoint is one sample of the reseedings-vs-test-length curve
+// (Figure 2 of the paper).
+type TradeoffPoint struct {
+	Cycles     int // candidate evolution length T
+	Triplets   int // solution cardinality
+	TestLength int // trimmed global test length
+}
+
+// Tradeoff computes the Figure 2 curve: the covering solution for each
+// candidate evolution length in cyclesList. The ATPG work is shared; the
+// matrix is rebuilt per point with the same seed so curves are comparable.
+func (f *Flow) Tradeoff(gen tpg.Generator, cyclesList []int, opts Options) ([]TradeoffPoint, error) {
+	var out []TradeoffPoint
+	for _, t := range cyclesList {
+		o := opts
+		o.Cycles = t
+		sol, err := f.Solve(gen, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: tradeoff at T=%d: %w", t, err)
+		}
+		out = append(out, TradeoffPoint{
+			Cycles:     t,
+			Triplets:   sol.NumTriplets(),
+			TestLength: sol.TestLength,
+		})
+	}
+	return out, nil
+}

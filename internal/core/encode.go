@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+)
+
+// solutionJSON is the stable on-disk form of a Solution: seeds are hex
+// strings with explicit widths so they survive any vector width.
+type solutionJSON struct {
+	Circuit   string        `json:"circuit"`
+	Generator string        `json:"generator"`
+	Cycles    int           `json:"cycles"`
+	Width     int           `json:"width"`
+	Triplets  []tripletJSON `json:"triplets"`
+
+	TestLength    int `json:"test_length"`
+	UniformLength int `json:"uniform_length"`
+	ROMBits       int `json:"rom_bits"`
+
+	MatrixRows   int  `json:"matrix_rows"`
+	MatrixCols   int  `json:"matrix_cols"`
+	ResidualRows int  `json:"residual_rows"`
+	ResidualCols int  `json:"residual_cols"`
+	Optimal      bool `json:"optimal"`
+}
+
+type tripletJSON struct {
+	Delta     string `json:"delta"`
+	Theta     string `json:"theta"`
+	Cycles    int    `json:"cycles"`
+	Necessary bool   `json:"necessary"`
+	Faults    int    `json:"faults"`
+}
+
+// WriteJSON serializes the solution, ROM-ready: each triplet carries its
+// trimmed cycle count.
+func (s *Solution) WriteJSON(w io.Writer) error {
+	width := 0
+	out := solutionJSON{
+		Circuit:       s.Circuit,
+		Generator:     s.Generator,
+		Cycles:        s.Cycles,
+		TestLength:    s.TestLength,
+		UniformLength: s.UniformLength,
+		ROMBits:       s.ROMBits,
+		MatrixRows:    s.MatrixRows,
+		MatrixCols:    s.MatrixCols,
+		ResidualRows:  s.ResidualRows,
+		ResidualCols:  s.ResidualCols,
+		Optimal:       s.Optimal,
+	}
+	for _, t := range s.Triplets {
+		width = t.Delta.Width()
+		out.Triplets = append(out.Triplets, tripletJSON{
+			Delta:     t.Delta.Hex(),
+			Theta:     t.Theta.Hex(),
+			Cycles:    t.EffectiveCycles,
+			Necessary: t.Necessary,
+			Faults:    t.AssignedFaults,
+		})
+	}
+	out.Width = width
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSolutionJSON deserializes a solution written by WriteJSON. Only the
+// fields needed to replay the triplets are guaranteed round-trip.
+func ReadSolutionJSON(r io.Reader) (*Solution, error) {
+	var in solutionJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode solution: %w", err)
+	}
+	s := &Solution{
+		Circuit:       in.Circuit,
+		Generator:     in.Generator,
+		Cycles:        in.Cycles,
+		TestLength:    in.TestLength,
+		UniformLength: in.UniformLength,
+		ROMBits:       in.ROMBits,
+		MatrixRows:    in.MatrixRows,
+		MatrixCols:    in.MatrixCols,
+		ResidualRows:  in.ResidualRows,
+		ResidualCols:  in.ResidualCols,
+		Optimal:       in.Optimal,
+	}
+	for i, t := range in.Triplets {
+		delta, err := parseHex(t.Delta, in.Width)
+		if err != nil {
+			return nil, fmt.Errorf("core: triplet %d delta: %w", i, err)
+		}
+		theta, err := parseHex(t.Theta, in.Width)
+		if err != nil {
+			return nil, fmt.Errorf("core: triplet %d theta: %w", i, err)
+		}
+		st := SelectedTriplet{
+			EffectiveCycles: t.Cycles,
+			Necessary:       t.Necessary,
+			AssignedFaults:  t.Faults,
+		}
+		st.Delta = delta
+		st.Theta = theta
+		st.Triplet.Cycles = t.Cycles
+		s.Triplets = append(s.Triplets, st)
+		if t.Necessary {
+			s.NumNecessary++
+		} else {
+			s.NumFromSolver++
+		}
+	}
+	return s, nil
+}
+
+func parseHex(s string, width int) (bitvec.Vector, error) {
+	v := bitvec.New(width)
+	for i := 0; i < len(s); i++ {
+		c := s[len(s)-1-i]
+		var nibble uint64
+		switch {
+		case c >= '0' && c <= '9':
+			nibble = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			nibble = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			nibble = uint64(c-'A') + 10
+		default:
+			return bitvec.Vector{}, fmt.Errorf("invalid hex digit %q", c)
+		}
+		for b := 0; b < 4; b++ {
+			bit := 4*i + b
+			if bit >= width {
+				if nibble>>uint(b)&1 == 1 {
+					return bitvec.Vector{}, fmt.Errorf("hex value wider than %d bits", width)
+				}
+				continue
+			}
+			if nibble>>uint(b)&1 == 1 {
+				v.SetBit(bit, true)
+			}
+		}
+	}
+	return v, nil
+}

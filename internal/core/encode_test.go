@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tpg"
+)
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	f := prepC17(t)
+	gen, _ := tpg.NewAdder(len(f.Circuit.Inputs))
+	sol, err := f.Solve(gen, Options{Cycles: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sol.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolutionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Circuit != sol.Circuit || back.Generator != sol.Generator {
+		t.Errorf("labels lost: %q %q", back.Circuit, back.Generator)
+	}
+	if back.TestLength != sol.TestLength || back.ROMBits != sol.ROMBits {
+		t.Errorf("metrics lost: %d %d", back.TestLength, back.ROMBits)
+	}
+	if len(back.Triplets) != len(sol.Triplets) {
+		t.Fatalf("triplet count %d != %d", len(back.Triplets), len(sol.Triplets))
+	}
+	for i := range sol.Triplets {
+		if !back.Triplets[i].Delta.Equal(sol.Triplets[i].Delta) {
+			t.Errorf("triplet %d delta mismatch", i)
+		}
+		if !back.Triplets[i].Theta.Equal(sol.Triplets[i].Theta) {
+			t.Errorf("triplet %d theta mismatch", i)
+		}
+		if back.Triplets[i].EffectiveCycles != sol.Triplets[i].EffectiveCycles {
+			t.Errorf("triplet %d cycles mismatch", i)
+		}
+	}
+	if back.NumNecessary != sol.NumNecessary {
+		t.Errorf("necessary count %d != %d", back.NumNecessary, sol.NumNecessary)
+	}
+}
+
+// A replayed JSON solution must still detect every target fault.
+func TestJSONSolutionReplays(t *testing.T) {
+	f := prepC17(t)
+	gen, _ := tpg.NewAdder(len(f.Circuit.Inputs))
+	sol, err := f.Solve(gen, Options{Cycles: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sol.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolutionJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyDetectsAll(t, f, back)
+}
+
+func TestReadSolutionJSONErrors(t *testing.T) {
+	if _, err := ReadSolutionJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	// Hex value wider than the declared width.
+	bad := `{"width": 4, "triplets": [{"delta": "ff", "theta": "0", "cycles": 1}]}`
+	if _, err := ReadSolutionJSON(strings.NewReader(bad)); err == nil {
+		t.Error("overflowing hex accepted")
+	}
+	ugly := `{"width": 4, "triplets": [{"delta": "zz", "theta": "0", "cycles": 1}]}`
+	if _, err := ReadSolutionJSON(strings.NewReader(ugly)); err == nil {
+		t.Error("invalid hex digit accepted")
+	}
+}
+
+func TestParseHexRoundTrip(t *testing.T) {
+	for _, width := range []int{1, 4, 5, 64, 65, 130} {
+		v, err := parseHex(strings.Repeat("a", (width+3)/4), width)
+		if err != nil {
+			// Widths not divisible by 4 can overflow with 'a' nibbles; the
+			// error path is legitimate there.
+			continue
+		}
+		got, err := parseHex(v.Hex(), width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("width %d: hex round trip changed value", width)
+		}
+	}
+}

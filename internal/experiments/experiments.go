@@ -1,0 +1,202 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+//
+//   - Table 1 — final reseeding solutions (#Triplets, test length) per
+//     circuit and per accumulator TPG, with the GATSBY baseline columns;
+//   - Table 2 — set covering anatomy: initial Detection Matrix size, the
+//     reduction's effect, and the split between necessary triplets and
+//     triplets chosen by the exact solver;
+//   - Figure 2 — the reseedings-vs-test-length trade-off on s1238 with an
+//     adder-based accumulator.
+//
+// Results reproduce the paper's qualitative shape (who wins, where the
+// covering approach's advantages come from), not its absolute numbers: the
+// circuits here are the synthetic ISCAS-profile stand-ins described in
+// DESIGN.md and the substrate is this repository's own ATPG and fault
+// simulator rather than TestGen on a SparcStation.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gatsby"
+	"repro/internal/tpg"
+)
+
+// TPGKinds are the three accumulator TPGs of the paper's evaluation.
+var TPGKinds = []string{"adder", "multiplier", "subtracter"}
+
+// Config tunes an experiment run.
+type Config struct {
+	// Circuits to include, in order; nil selects the paper's Table 1 list.
+	Circuits []string
+	// Cycles is the candidate evolution length T (default 64).
+	Cycles int
+	// Seed drives every stochastic component.
+	Seed int64
+	// WithGatsby enables the GA baseline columns (Table 1 only).
+	WithGatsby bool
+	// Gatsby tunes the baseline; its MaxFaults feasibility gate decides
+	// which circuits get "-" entries as in the paper.
+	Gatsby gatsby.Config
+	// ATPG tunes the shared test generation step.
+	ATPG atpg.Options
+	// Workers parallelizes matrix construction per solve (default 1).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Circuits == nil {
+		c.Circuits = Table1Circuits()
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 64
+	}
+	return c
+}
+
+// Table1Circuits returns the circuits of the paper's Table 1, in its order.
+func Table1Circuits() []string {
+	return []string{
+		"c499", "c880", "c1355", "c1908", "c7552",
+		"s420", "s641", "s820", "s838", "s953",
+		"s1238", "s1423", "s5378", "s9234", "s13207", "s15850",
+	}
+}
+
+// TPGResult is one circuit × TPG cell of Table 1 / Table 2.
+type TPGResult struct {
+	Solution *core.Solution
+	// Gatsby is nil when the baseline was not run; TooLarge reports the
+	// paper's "circuit too large for GATSBY" case.
+	Gatsby   *gatsby.Result
+	TooLarge bool
+}
+
+// CircuitResult aggregates one benchmark circuit's experiments.
+type CircuitResult struct {
+	Circuit    string
+	ScanInputs int
+	Faults     int // |F|: ATPG-detected target faults
+	Patterns   int // |ATPGTS|
+	ByTPG      map[string]*TPGResult
+}
+
+// Run executes the flow for every configured circuit and TPG. It is the
+// shared driver behind Table 1 and Table 2.
+func Run(cfg Config) ([]*CircuitResult, error) {
+	cfg = cfg.withDefaults()
+	var out []*CircuitResult
+	for _, name := range cfg.Circuits {
+		cr, err := RunCircuit(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+// RunCircuit executes the flow for one circuit across all TPG kinds.
+func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
+	cfg = cfg.withDefaults()
+	scan, err := bench.ScanView(name)
+	if err != nil {
+		return nil, err
+	}
+	atpgOpts := cfg.ATPG
+	if atpgOpts.Seed == 0 {
+		atpgOpts.Seed = cfg.Seed + 1
+	}
+	flow, err := core.Prepare(scan, atpgOpts)
+	if err != nil {
+		return nil, err
+	}
+	cr := &CircuitResult{
+		Circuit:    name,
+		ScanInputs: len(scan.Inputs),
+		Faults:     len(flow.TargetFaults),
+		Patterns:   len(flow.Patterns),
+		ByTPG:      make(map[string]*TPGResult),
+	}
+	for _, kind := range TPGKinds {
+		gen, err := tpg.ByName(kind, len(scan.Inputs))
+		if err != nil {
+			return nil, err
+		}
+		sol, err := flow.Solve(gen, core.Options{Cycles: cfg.Cycles, Seed: cfg.Seed + 2, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		tr := &TPGResult{Solution: sol}
+		if cfg.WithGatsby {
+			gcfg := cfg.Gatsby
+			gcfg.Seed = cfg.Seed + 3
+			if gcfg.Cycles == 0 {
+				// Match the covering flow's evolution length so the
+				// #Triplets comparison is apples to apples (Figure 2 shows
+				// the count falls with T, so mismatched budgets would
+				// decide the table, not the algorithms).
+				gcfg.Cycles = cfg.Cycles
+			}
+			gres, err := gatsby.Run(scan, flow.TargetFaults, gen, gcfg)
+			switch {
+			case errors.Is(err, gatsby.ErrTooLarge):
+				tr.TooLarge = true
+			case err != nil:
+				return nil, err
+			default:
+				tr.Gatsby = gres
+			}
+		}
+		cr.ByTPG[kind] = tr
+	}
+	return cr, nil
+}
+
+// Figure2Point is one sample of the trade-off curve.
+type Figure2Point = core.TradeoffPoint
+
+// Figure2 computes the paper's Figure 2: the number of reseedings versus
+// global test length for s1238 with an adder-based accumulator, swept over
+// the candidate evolution length T.
+func Figure2(cfg Config) ([]Figure2Point, error) {
+	return Tradeoff("s1238", "adder", nil, cfg)
+}
+
+// Tradeoff computes a reseedings-vs-test-length curve for any circuit and
+// TPG kind. A nil cyclesList selects a geometric sweep 1..1024.
+func Tradeoff(circuit, kind string, cyclesList []int, cfg Config) ([]Figure2Point, error) {
+	cfg = cfg.withDefaults()
+	if cyclesList == nil {
+		cyclesList = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	}
+	scan, err := bench.ScanView(circuit)
+	if err != nil {
+		return nil, err
+	}
+	atpgOpts := cfg.ATPG
+	if atpgOpts.Seed == 0 {
+		atpgOpts.Seed = cfg.Seed + 1
+	}
+	flow, err := core.Prepare(scan, atpgOpts)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := tpg.ByName(kind, len(scan.Inputs))
+	if err != nil {
+		return nil, err
+	}
+	points, err := flow.Tradeoff(gen, cyclesList, core.Options{Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	// Present the curve as the paper does: test length on the X axis,
+	// reseedings on Y, sorted by test length.
+	sort.Slice(points, func(a, b int) bool { return points[a].TestLength < points[b].TestLength })
+	return points, nil
+}

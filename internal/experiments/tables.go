@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// WriteTable1 renders the Table 1 layout: per circuit and per TPG the final
+// solution's #Triplets and test length, alongside the GATSBY baseline (or
+// "-" where the baseline is infeasible, as in the paper).
+func WriteTable1(w io.Writer, results []*CircuitResult, withGatsby bool) error {
+	cols := []string{"Circuit", "|F|", "|ATPGTS|"}
+	for _, kind := range TPGKinds {
+		cols = append(cols, kind+" #T", kind+" TL")
+		if withGatsby {
+			cols = append(cols, kind+" GATSBY #T", kind+" GATSBY TL")
+		}
+	}
+	t := report.NewTable("Table 1: Reseeding solution (set covering vs GATSBY)", cols...)
+	for _, cr := range results {
+		row := []string{cr.Circuit, itoa(cr.Faults), itoa(cr.Patterns)}
+		for _, kind := range TPGKinds {
+			tr := cr.ByTPG[kind]
+			if tr == nil {
+				row = append(row, "-", "-")
+				if withGatsby {
+					row = append(row, "-", "-")
+				}
+				continue
+			}
+			row = append(row, itoa(tr.Solution.NumTriplets()), itoa(tr.Solution.TestLength))
+			if withGatsby {
+				switch {
+				case tr.TooLarge:
+					row = append(row, "-", "-")
+				case tr.Gatsby != nil:
+					gt := fmt.Sprintf("%d", len(tr.Gatsby.Triplets))
+					if tr.Gatsby.Stalled {
+						gt += fmt.Sprintf(" (%.1f%%)", tr.Gatsby.Coverage*100)
+					}
+					row = append(row, gt, itoa(tr.Gatsby.TestLength))
+				default:
+					row = append(row, "-", "-")
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// WriteTable2 renders the Table 2 layout: the initial Detection Matrix size
+// and, per TPG, the residual matrix after reduction, the necessary triplet
+// count, and the triplets contributed by the exact solver.
+func WriteTable2(w io.Writer, results []*CircuitResult) error {
+	cols := []string{"Circuit", "Matrix (#T x #F)"}
+	for _, kind := range TPGKinds {
+		cols = append(cols,
+			kind+" reduced",
+			kind+" #necessary",
+			kind+" #solver",
+		)
+	}
+	t := report.NewTable("Table 2: Set covering algorithm anatomy", cols...)
+	for _, cr := range results {
+		row := []string{cr.Circuit, ""}
+		for i, kind := range TPGKinds {
+			tr := cr.ByTPG[kind]
+			if tr == nil {
+				row = append(row, "-", "-", "-")
+				continue
+			}
+			s := tr.Solution
+			if i == 0 {
+				row[1] = fmt.Sprintf("%dx%d", s.MatrixRows, s.MatrixCols)
+			}
+			row = append(row,
+				fmt.Sprintf("%dx%d", s.ResidualRows, s.ResidualCols),
+				itoa(s.NumNecessary),
+				itoa(s.NumFromSolver),
+			)
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// WriteFigure2 renders the trade-off curve both as a table and as an ASCII
+// chart, with the number of reseedings annotated on each point as in the
+// paper's figure.
+func WriteFigure2(w io.Writer, points []Figure2Point) error {
+	t := report.NewTable("Figure 2: Trade-off reseedings vs. test length (s1238, adder)",
+		"T (cycles)", "#Triplets", "Test Length")
+	var chart []report.Point
+	for _, p := range points {
+		t.AddRow(itoa(p.Cycles), itoa(p.Triplets), itoa(p.TestLength))
+		chart = append(chart, report.Point{
+			X:     float64(p.TestLength),
+			Y:     float64(p.Triplets),
+			Label: itoa(p.Triplets),
+		})
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return report.Chart(w, "", "global test length", "#reseedings", chart)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

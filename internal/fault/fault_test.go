@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, name, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return c
+}
+
+func TestAllCount(t *testing.T) {
+	// One 2-input AND: 3 gates (a, b, z). Output faults: 3*2 = 6.
+	// Pin faults: 2 pins * 2 = 4. Total 10.
+	c := mustParse(t, "and1", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`)
+	faults, err := All(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 10 {
+		t.Errorf("All = %d faults, want 10", len(faults))
+	}
+}
+
+func TestAllRejectsSequential(t *testing.T) {
+	c := mustParse(t, "seq", `
+INPUT(a)
+OUTPUT(z)
+z = AND(a, q)
+q = DFF(z)
+`)
+	if _, err := All(c); err == nil {
+		t.Fatal("expected error for sequential circuit")
+	}
+}
+
+func TestCollapseSingleAnd(t *testing.T) {
+	c := mustParse(t, "and1", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`)
+	faults, _ := All(c)
+	reps, stats, err := Collapse(c, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic result for a fanout-free 2-input AND cone: 10 faults collapse
+	// to 4 classes: {z sa0 ≡ z.in* sa0 ≡ a sa0 ≡ b sa0}, {z sa1},
+	// {a sa1 ≡ z.in0 sa1}, {b sa1 ≡ z.in1 sa1}.
+	if stats.Total != 10 {
+		t.Errorf("Total = %d, want 10", stats.Total)
+	}
+	if len(reps) != 4 {
+		t.Errorf("collapsed to %d classes, want 4: %v", len(reps), names(c, reps))
+	}
+}
+
+func TestCollapseInverterChain(t *testing.T) {
+	// a -> NOT -> NOT -> z, fanout-free: the whole chain collapses to 2.
+	c := mustParse(t, "chain", `
+INPUT(a)
+OUTPUT(z)
+n = NOT(a)
+z = NOT(n)
+`)
+	faults, _ := All(c)
+	reps, _, err := Collapse(c, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Errorf("inverter chain collapsed to %d, want 2: %v", len(reps), names(c, reps))
+	}
+}
+
+func TestCollapseFanoutKeepsBranches(t *testing.T) {
+	// A stem with two branches: branch faults must NOT collapse with the
+	// stem (classic reconvergence hazard).
+	c := mustParse(t, "fan", `
+INPUT(a)
+INPUT(b)
+OUTPUT(x)
+OUTPUT(y)
+x = AND(a, b)
+y = OR(a, b)
+`)
+	faults, _ := All(c)
+	reps, _, err := Collapse(c, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b each drive 2 gates, so their branch faults stay distinct from
+	// stem faults. Classes: for AND cone: {x sa0, x.in0 sa0, x.in1 sa0},
+	// {x sa1}, {x.in0 sa1}, {x.in1 sa1}; for OR: {y sa1, y.in0 sa1, y.in1
+	// sa1}, {y sa0}, {y.in0 sa0}, {y.in1 sa0}; stems: {a sa0}, {a sa1},
+	// {b sa0}, {b sa1}. Total 12.
+	if len(reps) != 12 {
+		t.Errorf("collapsed to %d classes, want 12: %v", len(reps), names(c, reps))
+	}
+}
+
+func TestCollapseXorKeepsAll(t *testing.T) {
+	// XOR has no controlling value: only fanout-free branch merging applies.
+	c := mustParse(t, "xor1", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = XOR(a, b)
+`)
+	faults, _ := All(c)
+	reps, _, err := Collapse(c, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 faults; fanout-free branches merge pin faults with stems a/b:
+	// {a sa0 ≡ z.in0 sa0}, {a sa1 ≡ z.in1 sa1}... leaving z sa0, z sa1,
+	// a sa0, a sa1, b sa0, b sa1 = 6.
+	if len(reps) != 6 {
+		t.Errorf("collapsed to %d classes, want 6: %v", len(reps), names(c, reps))
+	}
+}
+
+func TestListMatchesAllPlusCollapse(t *testing.T) {
+	c := mustParse(t, "and1", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`)
+	reps, stats, err := List(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 10 || len(reps) != stats.Collapsed {
+		t.Errorf("List stats inconsistent: %+v with %d reps", stats, len(reps))
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	c := mustParse(t, "and1", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`)
+	g, _ := c.GateByName("z")
+	f := Fault{Gate: g.ID, Pin: 1, StuckAt1: true}
+	if got := f.String(c); got != "z.in1(b) s-a-1" {
+		t.Errorf("String = %q", got)
+	}
+	f2 := Fault{Gate: g.ID, Pin: OutputPin, StuckAt1: false}
+	if got := f2.String(c); got != "z s-a-0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCollapseReducesLargerCircuit(t *testing.T) {
+	const c17 = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+	c := mustParse(t, "c17", c17)
+	reps, stats, err := List(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Collapsed >= stats.Total {
+		t.Errorf("collapsing did nothing: %+v", stats)
+	}
+	// The standard collapsed fault count for c17 is 22.
+	if len(reps) != 22 {
+		t.Errorf("c17 collapsed faults = %d, want 22: %v", len(reps), names(c, reps))
+	}
+}
+
+func names(c *netlist.Circuit, fs []Fault) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String(c)
+	}
+	return out
+}

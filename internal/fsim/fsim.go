@@ -1,0 +1,276 @@
+// Package fsim implements a parallel-pattern single-fault-propagation
+// stuck-at fault simulator.
+//
+// Patterns are processed in blocks of 64 (one bit per pattern). For each
+// block the good machine is simulated once; then every live fault is
+// injected and its effect propagated event-driven, visiting only gates whose
+// value actually changes, in level order. A fault is detected when any
+// primary output differs from the good machine in at least one pattern bit.
+//
+// This simulator plays the role of the TestGen fault simulator in the paper:
+// it grades the ATPG test set and fills the Detection Matrix (which triplet
+// detects which fault, and at which pattern index).
+package fsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+)
+
+// Options controls a fault simulation run.
+type Options struct {
+	// DropDetected stops simulating a fault after its first detection.
+	// This is the right mode both for test grading and for Detection Matrix
+	// rows, which only need "detected by this test set" plus the earliest
+	// detecting pattern.
+	DropDetected bool
+	// StopWhenAllDetected ends the run early once every fault is detected.
+	StopWhenAllDetected bool
+}
+
+// Result reports the outcome of a fault simulation run.
+type Result struct {
+	// Detected[i] reports whether faults[i] was detected by any pattern.
+	Detected []bool
+	// FirstPattern[i] is the index (into the pattern slice) of the first
+	// pattern that detects faults[i], or -1 if undetected.
+	FirstPattern []int
+	// NumDetected is the number of detected faults.
+	NumDetected int
+	// PatternsApplied is how many patterns were actually simulated before
+	// any early stop.
+	PatternsApplied int
+	// GateEvals counts faulty-machine gate evaluations, a proxy for fault
+	// simulation effort (the paper's argument that the set covering flow
+	// needs far fewer fault simulations than GATSBY).
+	GateEvals int64
+}
+
+// Coverage returns the fraction of faults detected, in [0, 1].
+func (r *Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 1
+	}
+	return float64(r.NumDetected) / float64(len(r.Detected))
+}
+
+// Simulator holds the per-circuit state for fault simulation. It is not
+// safe for concurrent use.
+type Simulator struct {
+	c      *netlist.Circuit
+	good   *logicsim.Simulator
+	isOut  []bool // gate ID -> is primary output
+	outIDs []int
+
+	// Event-driven faulty-machine state, epoch-tagged so that resetting
+	// between faults is O(1).
+	fval       []uint64
+	fepoch     []int32
+	sched      []int32
+	epoch      int32
+	buckets    [][]int // per-level work queues
+	minLevel   int     // lowest level scheduled for the current fault
+	maxTouched int     // highest level scheduled for the current fault
+
+	faninBuf []uint64
+}
+
+// New returns a fault simulator for the finalized combinational circuit.
+func New(c *netlist.Circuit) (*Simulator, error) {
+	good, err := logicsim.New(c)
+	if err != nil {
+		return nil, fmt.Errorf("fsim: %w", err)
+	}
+	s := &Simulator{
+		c:       c,
+		good:    good,
+		isOut:   make([]bool, c.NumGates()),
+		fval:    make([]uint64, c.NumGates()),
+		fepoch:  make([]int32, c.NumGates()),
+		sched:   make([]int32, c.NumGates()),
+		buckets: make([][]int, c.MaxLevel()+1),
+	}
+	for _, id := range c.Outputs {
+		s.isOut[id] = true
+		s.outIDs = append(s.outIDs, id)
+	}
+	return s, nil
+}
+
+// Run simulates the fault list against the pattern sequence and returns the
+// detection record.
+func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Options) (*Result, error) {
+	res := &Result{
+		Detected:     make([]bool, len(faults)),
+		FirstPattern: make([]int, len(faults)),
+	}
+	for i := range res.FirstPattern {
+		res.FirstPattern[i] = -1
+	}
+	live := make([]int, len(faults))
+	for i := range faults {
+		live[i] = i
+	}
+
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		block := patterns[base:end]
+		blockMask := ^uint64(0)
+		if len(block) < 64 {
+			blockMask = (uint64(1) << uint(len(block))) - 1
+		}
+		words, err := logicsim.PackPatterns(s.c, block)
+		if err != nil {
+			return nil, fmt.Errorf("fsim: %w", err)
+		}
+		if _, err := s.good.Run(words); err != nil {
+			return nil, fmt.Errorf("fsim: %w", err)
+		}
+		res.PatternsApplied += len(block)
+		goodVals := s.good.Values()
+
+		n := 0
+		for _, fi := range live {
+			detMask := s.simulateFault(faults[fi], goodVals, blockMask, &res.GateEvals)
+			if detMask != 0 {
+				if !res.Detected[fi] {
+					res.Detected[fi] = true
+					res.NumDetected++
+					res.FirstPattern[fi] = base + bits.TrailingZeros64(detMask)
+				}
+				if opts.DropDetected {
+					continue // dropped: not retained in live list
+				}
+			}
+			live[n] = fi
+			n++
+		}
+		live = live[:n]
+		if opts.StopWhenAllDetected && res.NumDetected == len(faults) {
+			break
+		}
+		if opts.DropDetected && len(live) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// simulateFault injects one fault against the current good values and
+// returns the mask of pattern bits in which any primary output diverges.
+func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64, evals *int64) uint64 {
+	site := s.c.Gates[f.Gate]
+	var faultyWord uint64
+	if f.StuckAt1 {
+		faultyWord = ^uint64(0)
+	}
+
+	siteGate := f.Gate
+	if f.Pin != fault.OutputPin {
+		// Input-pin fault: recompute the gate with the pin forced. The
+		// fault effect first appears at this gate's output.
+		in := s.faninBuf[:0]
+		for pin, fi := range site.Fanin {
+			v := good[fi]
+			if pin == f.Pin {
+				v = faultyWord
+			}
+			in = append(in, v)
+		}
+		s.faninBuf = in
+		faultyWord = netlist.Eval(site.Type, in)
+		*evals++
+	}
+
+	diff := (faultyWord ^ good[siteGate]) & blockMask
+	if diff == 0 {
+		return 0 // fault not activated by any pattern in this block
+	}
+
+	s.epoch++
+	if s.epoch == 0 { // int32 wrap: clear tags and restart
+		for i := range s.fepoch {
+			s.fepoch[i] = -1
+			s.sched[i] = -1
+		}
+		s.epoch = 1
+	}
+	s.fval[siteGate] = faultyWord & blockMask
+	s.fepoch[siteGate] = s.epoch
+
+	var detected uint64
+	if s.isOut[siteGate] {
+		detected |= diff
+	}
+
+	// Level-ordered event propagation from the site. Because every fanout
+	// sits at a strictly higher level than its driver, processing levels in
+	// ascending order guarantees all of a gate's faulty fanin values are
+	// settled before the gate is evaluated; a gate is evaluated at most once
+	// per fault.
+	s.minLevel = len(s.buckets)
+	s.maxTouched = -1
+	s.scheduleFanouts(siteGate)
+	for lvl := s.minLevel; lvl <= s.maxTouched; lvl++ {
+		queue := s.buckets[lvl]
+		if len(queue) == 0 {
+			continue
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			id := queue[qi]
+			g := s.c.Gates[id]
+			in := s.faninBuf[:0]
+			for _, fi := range g.Fanin {
+				if s.fepoch[fi] == s.epoch {
+					in = append(in, s.fval[fi])
+				} else {
+					in = append(in, good[fi])
+				}
+			}
+			s.faninBuf = in
+			nv := netlist.Eval(g.Type, in) & blockMask
+			*evals++
+			if nv == good[id]&blockMask {
+				continue
+			}
+			s.fval[id] = nv
+			s.fepoch[id] = s.epoch
+			if s.isOut[id] {
+				detected |= nv ^ (good[id] & blockMask)
+			}
+			s.scheduleFanouts(id)
+		}
+		s.buckets[lvl] = queue[:0]
+	}
+	return detected
+}
+
+// scheduleFanouts enqueues the combinational fanouts of gate id into their
+// level buckets, once per fault.
+func (s *Simulator) scheduleFanouts(id int) {
+	for _, fo := range s.c.Gates[id].Fanout {
+		g := s.c.Gates[fo]
+		if g.Type == netlist.DFF {
+			continue
+		}
+		if s.sched[fo] == s.epoch {
+			continue
+		}
+		s.sched[fo] = s.epoch
+		s.buckets[g.Level] = append(s.buckets[g.Level], fo)
+		if g.Level < s.minLevel {
+			s.minLevel = g.Level
+		}
+		if g.Level > s.maxTouched {
+			s.maxTouched = g.Level
+		}
+	}
+}

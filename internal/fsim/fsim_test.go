@@ -1,0 +1,375 @@
+package fsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+const c17Bench = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func mustParse(t testing.TB, name, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseString(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return c
+}
+
+// refFaultyEval is a naive single-pattern faulty-machine reference: evaluate
+// every gate in topological order with the fault injected.
+func refFaultyEval(c *netlist.Circuit, f fault.Fault, p bitvec.Vector) (outs []bool) {
+	vals := make(map[int]bool)
+	force := func(id int, v bool) bool {
+		if f.Pin == fault.OutputPin && f.Gate == id {
+			return f.StuckAt1
+		}
+		return v
+	}
+	for i, id := range c.Inputs {
+		vals[id] = force(id, p.Bit(i))
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		in := make([]uint64, len(g.Fanin))
+		for pin, fi := range g.Fanin {
+			v := vals[fi]
+			if f.Gate == id && f.Pin == pin {
+				v = f.StuckAt1
+			}
+			if v {
+				in[pin] = 1
+			}
+		}
+		v := netlist.Eval(g.Type, in)&1 == 1
+		vals[id] = force(id, v)
+	}
+	for _, id := range c.Outputs {
+		outs = append(outs, vals[id])
+	}
+	return outs
+}
+
+func refGoodEval(c *netlist.Circuit, p bitvec.Vector) []bool {
+	// A fault on a non-existent gate pin never matches, so this reuses the
+	// faulty reference with an inert fault.
+	return refFaultyEval(c, fault.Fault{Gate: -1, Pin: fault.OutputPin}, p)
+}
+
+// TestAgainstBruteForce cross-checks the event-driven simulator against the
+// naive reference on every collapsed fault of c17 over random patterns.
+func TestAgainstBruteForce(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	faults, _, err := fault.List(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	patterns := make([]bitvec.Vector, 100) // crosses a block boundary
+	for i := range patterns {
+		patterns[i] = bitvec.Random(5, rng)
+	}
+
+	sim, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(faults, patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for fi, f := range faults {
+		wantDetected := false
+		wantFirst := -1
+		for pi, p := range patterns {
+			good := refGoodEval(c, p)
+			bad := refFaultyEval(c, f, p)
+			for o := range good {
+				if good[o] != bad[o] {
+					wantDetected = true
+					break
+				}
+			}
+			if wantDetected {
+				wantFirst = pi
+				break
+			}
+		}
+		if res.Detected[fi] != wantDetected {
+			t.Errorf("fault %s: detected=%v, want %v", f.String(c), res.Detected[fi], wantDetected)
+		}
+		if wantDetected && res.FirstPattern[fi] != wantFirst {
+			t.Errorf("fault %s: first pattern %d, want %d", f.String(c), res.FirstPattern[fi], wantFirst)
+		}
+	}
+}
+
+// Randomized property check on generated circuits: event-driven result must
+// match brute force for every fault and every pattern prefix position.
+func TestRandomCircuitsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(t, rng, 4+rng.Intn(4), 15+rng.Intn(25))
+		faults, _, err := fault.List(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patterns := make([]bitvec.Vector, 20)
+		for i := range patterns {
+			patterns[i] = bitvec.Random(len(c.Inputs), rng)
+		}
+		sim, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(faults, patterns, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi, f := range faults {
+			want := false
+			for _, p := range patterns {
+				good := refGoodEval(c, p)
+				bad := refFaultyEval(c, f, p)
+				for o := range good {
+					if good[o] != bad[o] {
+						want = true
+					}
+				}
+				if want {
+					break
+				}
+			}
+			if res.Detected[fi] != want {
+				t.Fatalf("trial %d fault %s: detected=%v, want %v\n%s",
+					trial, f.String(c), res.Detected[fi], want, netlist.Format(c))
+			}
+		}
+	}
+}
+
+// randomCircuit builds a small random combinational circuit where every
+// dangling gate is collected into an output OR tree.
+func randomCircuit(t testing.TB, rng *rand.Rand, nIn, nGates int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("rand")
+	var signals []string
+	for i := 0; i < nIn; i++ {
+		name := "i" + string(rune('a'+i))
+		if _, err := c.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		signals = append(signals, name)
+	}
+	types := []netlist.GateType{netlist.And, netlist.Or, netlist.Nand,
+		netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf}
+	for i := 0; i < nGates; i++ {
+		tp := types[rng.Intn(len(types))]
+		n := 2
+		if tp == netlist.Not || tp == netlist.Buf {
+			n = 1
+		}
+		fanin := make([]string, n)
+		for j := range fanin {
+			fanin[j] = signals[rng.Intn(len(signals))]
+		}
+		name := "g" + itoa(i)
+		if _, err := c.AddGate(name, tp, fanin...); err != nil {
+			t.Fatal(err)
+		}
+		signals = append(signals, name)
+	}
+	// Collect dangling signals so everything is observable.
+	dangling := []string{}
+	for _, g := range c.Gates {
+		if len(g.Fanout) == 0 {
+			dangling = append(dangling, g.Name)
+		}
+	}
+	// The Fanout fields are only valid after Finalize; recompute manually.
+	used := map[string]bool{}
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			used[c.Gates[f].Name] = true
+		}
+	}
+	dangling = dangling[:0]
+	for _, g := range c.Gates {
+		if !used[g.Name] {
+			dangling = append(dangling, g.Name)
+		}
+	}
+	for len(dangling) > 2 {
+		name := "t" + itoa(len(c.Gates))
+		if _, err := c.AddGate(name, netlist.Or, dangling[0], dangling[1]); err != nil {
+			t.Fatal(err)
+		}
+		dangling = append(dangling[2:], name)
+	}
+	for _, d := range dangling {
+		if err := c.MarkOutput(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{byte('0' + n%10)}, buf...)
+		n /= 10
+	}
+	return string(buf)
+}
+
+func TestDropDetectedStopsEarly(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	faults, _, _ := fault.List(c)
+	sim, _ := New(c)
+	// Two repetitions of the exhaustive set span multiple 64-pattern blocks,
+	// so fault dropping saves work in the later blocks.
+	patterns := make([]bitvec.Vector, 128)
+	for v := range patterns {
+		patterns[v] = bitvec.FromUint64(5, uint64(v%32))
+	}
+	full, err := sim.Run(faults, patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := sim.Run(faults, patterns, Options{DropDetected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumDetected != dropped.NumDetected {
+		t.Errorf("drop changed detection count: %d vs %d", full.NumDetected, dropped.NumDetected)
+	}
+	for i := range faults {
+		if full.Detected[i] != dropped.Detected[i] || full.FirstPattern[i] != dropped.FirstPattern[i] {
+			t.Errorf("fault %d: drop changed result", i)
+		}
+	}
+	if dropped.GateEvals >= full.GateEvals {
+		t.Errorf("dropping should reduce work: %d vs %d evals", dropped.GateEvals, full.GateEvals)
+	}
+	// c17 is fully testable: every collapsed fault must be detected by the
+	// exhaustive set.
+	if dropped.NumDetected != len(faults) {
+		t.Errorf("exhaustive patterns detected %d of %d faults", dropped.NumDetected, len(faults))
+	}
+}
+
+func TestStopWhenAllDetected(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	faults, _, _ := fault.List(c)
+	sim, _ := New(c)
+	patterns := make([]bitvec.Vector, 640)
+	for v := range patterns {
+		patterns[v] = bitvec.FromUint64(5, uint64(v%32))
+	}
+	res, err := sim.Run(faults, patterns, Options{DropDetected: true, StopWhenAllDetected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PatternsApplied == len(patterns) {
+		t.Error("expected early stop before all 640 patterns")
+	}
+	if res.NumDetected != len(faults) {
+		t.Errorf("detected %d of %d", res.NumDetected, len(faults))
+	}
+}
+
+func TestUndetectableRedundantFault(t *testing.T) {
+	// z = OR(a, NOT(a)) is constant 1: z s-a-1 is undetectable.
+	src := `
+INPUT(a)
+OUTPUT(z)
+n = NOT(a)
+z = OR(a, n)
+`
+	c := mustParse(t, "red", src)
+	gz, _ := c.GateByName("z")
+	faults := []fault.Fault{
+		{Gate: gz.ID, Pin: fault.OutputPin, StuckAt1: true},  // undetectable
+		{Gate: gz.ID, Pin: fault.OutputPin, StuckAt1: false}, // always detected
+	}
+	sim, _ := New(c)
+	patterns := []bitvec.Vector{bitvec.FromUint64(1, 0), bitvec.FromUint64(1, 1)}
+	res, err := sim.Run(faults, patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected[0] {
+		t.Error("redundant s-a-1 on constant-1 line reported detected")
+	}
+	if !res.Detected[1] || res.FirstPattern[1] != 0 {
+		t.Errorf("s-a-0 on constant-1 line: %+v", res)
+	}
+	if got := res.Coverage(); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+}
+
+func TestEmptyPatternList(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	faults, _, _ := fault.List(c)
+	sim, _ := New(c)
+	res, err := sim.Run(faults, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDetected != 0 || res.PatternsApplied != 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}
+
+func BenchmarkFaultSimC17(b *testing.B) {
+	c := mustParse(b, "c17", c17Bench)
+	faults, _, err := fault.List(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := make([]bitvec.Vector, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := range patterns {
+		patterns[i] = bitvec.Random(5, rng)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(faults, patterns, Options{DropDetected: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

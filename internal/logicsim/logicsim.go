@@ -1,0 +1,126 @@
+// Package logicsim implements a 64-way bit-parallel good-machine simulator
+// for combinational circuits.
+//
+// Each gate value is a 64-bit word; bit k of every word belongs to pattern k
+// of the current block. One pass over the levelized netlist therefore
+// simulates up to 64 test patterns, which is what makes Detection Matrix
+// construction for the large ISCAS-class circuits tractable.
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+// Simulator evaluates a finalized combinational circuit over blocks of up to
+// 64 patterns. It is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	c      *netlist.Circuit
+	order  []int
+	values []uint64 // per-gate word for the current block
+	inbuf  [][]uint64
+}
+
+// New returns a simulator for the circuit. The circuit must be finalized and
+// combinational (run FullScan first for sequential circuits).
+func New(c *netlist.Circuit) (*Simulator, error) {
+	if !c.Finalized() {
+		return nil, fmt.Errorf("logicsim: circuit %q not finalized", c.Name)
+	}
+	if !c.IsCombinational() {
+		return nil, fmt.Errorf("logicsim: circuit %q is sequential; apply FullScan first", c.Name)
+	}
+	return &Simulator{
+		c:      c,
+		order:  c.TopoOrder(),
+		values: make([]uint64, c.NumGates()),
+	}, nil
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+
+// Run simulates one block. inputWords[i] carries the 64 pattern bits for the
+// i-th primary input (in circuit input order). It returns one word per
+// primary output, in circuit output order. The returned slice is reused
+// across calls.
+func (s *Simulator) Run(inputWords []uint64) ([]uint64, error) {
+	if len(inputWords) != len(s.c.Inputs) {
+		return nil, fmt.Errorf("logicsim: got %d input words, circuit has %d inputs",
+			len(inputWords), len(s.c.Inputs))
+	}
+	for i, id := range s.c.Inputs {
+		s.values[id] = inputWords[i]
+	}
+	var faninBuf [16]uint64
+	for _, id := range s.order {
+		g := s.c.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		in := faninBuf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, s.values[f])
+		}
+		s.values[id] = netlist.Eval(g.Type, in)
+	}
+	if s.inbuf == nil {
+		s.inbuf = [][]uint64{make([]uint64, len(s.c.Outputs))}
+	}
+	out := s.inbuf[0]
+	for i, id := range s.c.Outputs {
+		out[i] = s.values[id]
+	}
+	return out, nil
+}
+
+// Values returns the per-gate words after the last Run. The slice is owned
+// by the simulator; callers must not modify it.
+func (s *Simulator) Values() []uint64 { return s.values }
+
+// PackPatterns packs up to 64 patterns into per-input words: the returned
+// slice has one word per circuit input, with bit k holding pattern k's value
+// for that input. Pattern bit i corresponds to circuit input i (pattern
+// width must equal the circuit's input count).
+func PackPatterns(c *netlist.Circuit, patterns []bitvec.Vector) ([]uint64, error) {
+	if len(patterns) > 64 {
+		return nil, fmt.Errorf("logicsim: block of %d patterns exceeds 64", len(patterns))
+	}
+	n := len(c.Inputs)
+	words := make([]uint64, n)
+	for k, p := range patterns {
+		if p.Width() != n {
+			return nil, fmt.Errorf("logicsim: pattern %d has width %d, circuit has %d inputs",
+				k, p.Width(), n)
+		}
+		for i := 0; i < n; i++ {
+			if p.Bit(i) {
+				words[i] |= 1 << uint(k)
+			}
+		}
+	}
+	return words, nil
+}
+
+// Apply simulates a single pattern and returns the primary output values as
+// a vector (bit i = output i). It is a convenience wrapper for examples and
+// tests; bulk work should use Run with packed blocks.
+func (s *Simulator) Apply(p bitvec.Vector) (bitvec.Vector, error) {
+	words, err := PackPatterns(s.c, []bitvec.Vector{p})
+	if err != nil {
+		return bitvec.Vector{}, err
+	}
+	outWords, err := s.Run(words)
+	if err != nil {
+		return bitvec.Vector{}, err
+	}
+	out := bitvec.New(len(s.c.Outputs))
+	for i, w := range outWords {
+		if w&1 == 1 {
+			out.SetBit(i, true)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package logicsim
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+)
+
+// A 2-bit synchronous counter: s0 toggles, s1 toggles when s0 is 1.
+const counterBench = `
+INPUT(en)
+OUTPUT(s0)
+OUTPUT(s1)
+n0 = XOR(s0, en)
+c  = AND(s0, en)
+n1 = XOR(s1, c)
+s0 = DFF(n0)
+s1 = DFF(n1)
+`
+
+func TestCounterSequence(t *testing.T) {
+	c, err := netlist.ParseString("cnt", counterBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSequential(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := bitvec.FromUint64(1, 1)
+	// From 00, with enable held: 00 01 10 11 00 ...
+	want := []uint64{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		out, err := sim.StepOne(en)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := uint64(0)
+		if out.Bit(0) {
+			got |= 1
+		}
+		if out.Bit(1) {
+			got |= 2
+		}
+		if got != w {
+			t.Fatalf("cycle %d: count %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHoldWhenDisabled(t *testing.T) {
+	c, _ := netlist.ParseString("cnt", counterBench)
+	sim, _ := NewSequential(c)
+	if err := sim.SetState(bitvec.FromUint64(2, 0b10)); err != nil {
+		t.Fatal(err)
+	}
+	dis := bitvec.New(1)
+	for i := 0; i < 4; i++ {
+		if _, err := sim.StepOne(dis); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sim.State().Uint64(); got != 0b10 {
+		t.Errorf("state changed while disabled: %02b", got)
+	}
+}
+
+func TestSetStateAndReset(t *testing.T) {
+	c, _ := netlist.ParseString("cnt", counterBench)
+	sim, _ := NewSequential(c)
+	if err := sim.SetState(bitvec.FromUint64(2, 0b11)); err != nil {
+		t.Fatal(err)
+	}
+	if sim.State().Uint64() != 0b11 {
+		t.Error("SetState not reflected")
+	}
+	sim.Reset()
+	if sim.State().Uint64() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if err := sim.SetState(bitvec.New(3)); err == nil {
+		t.Error("wrong-width state accepted")
+	}
+}
+
+func TestParallelStreams(t *testing.T) {
+	c, _ := netlist.ParseString("cnt", counterBench)
+	sim, _ := NewSequential(c)
+	// Stream k enables the counter iff k is even; run 2 cycles.
+	enWord := uint64(0x5555555555555555)
+	for i := 0; i < 2; i++ {
+		if _, err := sim.Step([]uint64{enWord}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Even streams counted to 2 (s0=0, s1=1), odd streams stayed 0.
+	out, err := sim.Step([]uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]&1 != 0 || out[1]&1 != 1 {
+		t.Errorf("stream 0 state wrong: s0=%d s1=%d", out[0]&1, out[1]&1)
+	}
+	if out[0]>>1&1 != 0 || out[1]>>1&1 != 0 {
+		t.Errorf("stream 1 should have stayed zero")
+	}
+}
+
+func TestLoadStateWordCount(t *testing.T) {
+	c, _ := netlist.ParseString("cnt", counterBench)
+	sim, _ := NewSequential(c)
+	if err := sim.LoadState([]uint64{1}); err == nil {
+		t.Error("short state accepted")
+	}
+	if err := sim.LoadState([]uint64{1, 2}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialOnCombinational(t *testing.T) {
+	c, _ := netlist.ParseString("comb", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = XOR(a, b)
+`)
+	sim, err := NewSequential(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.StepOne(bitvec.FromUint64(2, 0b01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Bit(0) {
+		t.Error("XOR(1,0) should be 1")
+	}
+}
+
+func TestStepInputCountMismatch(t *testing.T) {
+	c, _ := netlist.ParseString("cnt", counterBench)
+	sim, _ := NewSequential(c)
+	if _, err := sim.Step([]uint64{1, 2}); err == nil {
+		t.Error("wrong input word count accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads a circuit in the ISCAS ".bench" text format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G7  = DFF(G10)
+//
+// The returned circuit is finalized.
+func Parse(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseLine(c, line); err != nil {
+			return nil, fmt.Errorf("netlist: %s line %d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %s: %w", name, err)
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString is Parse over an in-memory netlist.
+func ParseString(name, text string) (*Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+func parseLine(c *Circuit, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT("):
+		sig, err := insideParens(line[len("INPUT"):])
+		if err != nil {
+			return err
+		}
+		_, err = c.AddInput(sig)
+		return err
+	case strings.HasPrefix(upper, "OUTPUT("):
+		sig, err := insideParens(line[len("OUTPUT"):])
+		if err != nil {
+			return err
+		}
+		return c.MarkOutput(sig)
+	}
+	// name = TYPE(args)
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	typeName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	t, ok := gateTypeByName[typeName]
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", typeName)
+	}
+	argStr := rhs[open+1 : len(rhs)-1]
+	var args []string
+	if strings.TrimSpace(argStr) != "" {
+		for _, a := range strings.Split(argStr, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return fmt.Errorf("empty fanin in %q", rhs)
+			}
+			args = append(args, a)
+		}
+	}
+	_, err := c.AddGate(name, t, args...)
+	return err
+}
+
+func insideParens(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("malformed declaration %q", s)
+	}
+	sig := strings.TrimSpace(s[1 : len(s)-1])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal name in %q", s)
+	}
+	return sig, nil
+}
+
+// Write renders the circuit in .bench format. Gates are written in a
+// deterministic order: inputs, outputs, then gates by ID.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs, %d gates\n",
+		len(c.Inputs), len(c.Outputs), len(c.DFFs), c.NumLogicGates())
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	ids := make([]int, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type != Input {
+			ids = append(ids, g.ID)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := c.Gates[id]
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// Format renders the circuit as a .bench string.
+func Format(c *Circuit) string {
+	var b strings.Builder
+	_ = Write(&b, c)
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// c17, the smallest ISCAS'85 circuit, is public knowledge and small enough
+// to embed; it exercises NAND-only logic with reconvergent fanout.
+const c17Bench = `
+# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func parseC17(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := ParseString("c17", c17Bench)
+	if err != nil {
+		t.Fatalf("parse c17: %v", err)
+	}
+	return c
+}
+
+func TestParseC17(t *testing.T) {
+	c := parseC17(t)
+	if got := len(c.Inputs); got != 5 {
+		t.Errorf("inputs = %d, want 5", got)
+	}
+	if got := len(c.Outputs); got != 2 {
+		t.Errorf("outputs = %d, want 2", got)
+	}
+	if got := c.NumLogicGates(); got != 6 {
+		t.Errorf("logic gates = %d, want 6", got)
+	}
+	g, ok := c.GateByName("G16")
+	if !ok {
+		t.Fatal("G16 not found")
+	}
+	if g.Type != Nand || len(g.Fanin) != 2 {
+		t.Errorf("G16 = %v with %d fanins", g.Type, len(g.Fanin))
+	}
+	if len(g.Fanout) != 2 {
+		t.Errorf("G16 fanout = %d, want 2 (G22, G23)", len(g.Fanout))
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := parseC17(t)
+	wantLevels := map[string]int{
+		"G1": 0, "G3": 0, "G10": 1, "G11": 1, "G16": 2, "G22": 3, "G23": 3,
+	}
+	for name, want := range wantLevels {
+		g, _ := c.GateByName(name)
+		if g.Level != want {
+			t.Errorf("level(%s) = %d, want %d", name, g.Level, want)
+		}
+	}
+	if c.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d, want 3", c.MaxLevel())
+	}
+}
+
+func TestTopoOrderRespectsFanin(t *testing.T) {
+	c := parseC17(t)
+	pos := make(map[int]int)
+	for i, id := range c.TopoOrder() {
+		pos[id] = i
+	}
+	if len(pos) != c.NumGates() {
+		t.Fatalf("topo order covers %d of %d gates", len(pos), c.NumGates())
+	}
+	for _, g := range c.Gates {
+		if g.Type == DFF {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[g.ID] {
+				t.Errorf("gate %s before its fanin %s", g.Name, c.Gates[f].Name)
+			}
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	c := parseC17(t)
+	text := Format(c)
+	c2, err := ParseString("c17rt", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if c2.NumLogicGates() != c.NumLogicGates() ||
+		len(c2.Inputs) != len(c.Inputs) ||
+		len(c2.Outputs) != len(c.Outputs) {
+		t.Errorf("round trip changed structure:\n%s", text)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	// Output and fanin named before declaration.
+	src := `
+OUTPUT(z)
+z = AND(a, b)
+INPUT(a)
+INPUT(b)
+`
+	c, err := ParseString("fwd", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.NumLogicGates() != 1 || len(c.Inputs) != 2 {
+		t.Error("forward references mishandled")
+	}
+}
+
+func TestUndeclaredSignal(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+z = AND(a, ghost)
+`
+	if _, err := ParseString("bad", src); err == nil {
+		t.Fatal("expected error for undeclared signal")
+	} else if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error should name the missing signal: %v", err)
+	}
+}
+
+func TestRedeclaredSignal(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+z = AND(a, b)
+z = OR(a, b)
+`
+	if _, err := ParseString("bad", src); err == nil {
+		t.Fatal("expected error for redeclared signal")
+	}
+}
+
+func TestBadFaninCount(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(z)
+z = NOT(a, a)
+`
+	if _, err := ParseString("bad", src); err == nil {
+		t.Fatal("expected error for NOT with 2 fanins")
+	}
+	src2 := `
+INPUT(a)
+OUTPUT(z)
+z = AND(a)
+`
+	if _, err := ParseString("bad2", src2); err == nil {
+		t.Fatal("expected error for AND with 1 fanin")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = OR(a, x)
+`
+	if _, err := ParseString("loop", src); err == nil {
+		t.Fatal("expected combinational loop error")
+	} else if !strings.Contains(err.Error(), "loop") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDFFBreaksLoop(t *testing.T) {
+	// The same loop through a DFF is legal sequential logic.
+	src := `
+INPUT(a)
+OUTPUT(x)
+x = AND(a, q)
+q = DFF(x)
+`
+	c, err := ParseString("seqloop", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(c.DFFs) != 1 {
+		t.Errorf("DFFs = %d, want 1", len(c.DFFs))
+	}
+	if c.IsCombinational() {
+		t.Error("circuit with DFF reported combinational")
+	}
+}
+
+func TestFullScan(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+n1 = AND(a, q1)
+n2 = XOR(n1, b)
+z  = OR(n2, q2)
+q1 = DFF(n2)
+q2 = DFF(z)
+`
+	c, err := ParseString("seq", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := c.FullScan()
+	if err != nil {
+		t.Fatalf("FullScan: %v", err)
+	}
+	if !s.IsCombinational() {
+		t.Fatal("scan view still has DFFs")
+	}
+	// inputs: a, b + pseudo q1, q2
+	if got := len(s.Inputs); got != 4 {
+		t.Errorf("scan inputs = %d, want 4", got)
+	}
+	// outputs: z + pseudo (n2, z)
+	if got := len(s.Outputs); got != 3 {
+		t.Errorf("scan outputs = %d, want 3", got)
+	}
+	// q1 must now be an Input gate.
+	g, ok := s.GateByName("q1")
+	if !ok || g.Type != Input {
+		t.Errorf("q1 in scan view = %v", g)
+	}
+	// Pseudo input order must follow DFF declaration order (q1 then q2).
+	if s.Gates[s.Inputs[2]].Name != "q1" || s.Gates[s.Inputs[3]].Name != "q2" {
+		t.Error("pseudo input order not stable")
+	}
+}
+
+func TestFullScanOfCombinationalIsCopy(t *testing.T) {
+	c := parseC17(t)
+	s, err := c.FullScan()
+	if err != nil {
+		t.Fatalf("FullScan: %v", err)
+	}
+	if s.NumLogicGates() != c.NumLogicGates() || len(s.Inputs) != len(c.Inputs) {
+		t.Error("scan view of combinational circuit should match original")
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := parseC17(t)
+	g11, _ := c.GateByName("G11")
+	cone := c.FanoutCone(g11.ID)
+	want := map[string]bool{"G11": true, "G16": true, "G19": true, "G22": true, "G23": true}
+	if len(cone) != len(want) {
+		t.Fatalf("cone size = %d, want %d", len(cone), len(want))
+	}
+	for _, id := range cone {
+		if !want[c.Gates[id].Name] {
+			t.Errorf("unexpected cone member %s", c.Gates[id].Name)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := parseC17(t)
+	s := c.Stats()
+	if s.Inputs != 5 || s.Outputs != 2 || s.LogicGates != 6 || s.DFFs != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByType[Nand] != 6 {
+		t.Errorf("NAND count = %d, want 6", s.ByType[Nand])
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := parseC17(t)
+	cl := c.Clone()
+	cl.Gates[5].Name = "mutated"
+	if c.Gates[5].Name == "mutated" {
+		t.Error("Clone shares gate storage")
+	}
+	if !cl.Finalized() {
+		t.Error("clone should preserve finalization")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	// Exhaustive 2-input truth tables packed into the low 4 bits:
+	// input a = 0101, input b = 0011 (bit i = pattern i).
+	a, b := uint64(0b0101), uint64(0b0011)
+	mask := uint64(0xf)
+	cases := []struct {
+		t    GateType
+		want uint64
+	}{
+		{And, 0b0001},
+		{Or, 0b0111},
+		{Nand, 0b1110},
+		{Nor, 0b1000},
+		{Xor, 0b0110},
+		{Xnor, 0b1001},
+	}
+	for _, cse := range cases {
+		got := Eval(cse.t, []uint64{a, b}) & mask
+		if got != cse.want {
+			t.Errorf("Eval(%v) = %04b, want %04b", cse.t, got, cse.want)
+		}
+	}
+	if Eval(Not, []uint64{a})&mask != 0b1010 {
+		t.Error("NOT truth table wrong")
+	}
+	if Eval(Buf, []uint64{a}) != a {
+		t.Error("BUF should pass through")
+	}
+	if Eval(Const0, nil) != 0 || Eval(Const1, nil) != ^uint64(0) {
+		t.Error("constants wrong")
+	}
+}
+
+func TestEvalWideGates(t *testing.T) {
+	in := []uint64{0b1111, 0b1110, 0b1100}
+	if got := Eval(And, in) & 0xf; got != 0b1100&0b1110&0b1111 {
+		t.Errorf("3-input AND = %04b", got)
+	}
+	if got := Eval(Xor, in) & 0xf; got != 0b1111^0b1110^0b1100 {
+		t.Errorf("3-input XOR = %04b", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and simple ASCII charts, matching the shape of the paper's Tables 1-2 and
+// Figure 2.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := make([]string, len(t.Columns))
+	head := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		head[i] = pad(c, widths[i])
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(&b, "%s\n%s\n", strings.Join(head, "  "), strings.Join(sep, "  "))
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			cells[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(&b, "%s\n", strings.TrimRight(strings.Join(cells, "  "), " "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (no quoting: cells are expected to be
+// plain identifiers and numbers).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", strings.Join(t.Columns, ","))
+	for _, row := range t.rows {
+		fmt.Fprintf(&b, "%s\n", strings.Join(row, ","))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Point is one chart sample.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// Chart renders an ASCII scatter of the points (Figure 2 style): X grows to
+// the right, Y upward, each point marked with '*' and optionally labelled.
+func Chart(w io.Writer, title, xLabel, yLabel string, points []Point) error {
+	const width, height = 60, 16
+	if len(points) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points {
+		minX, maxX = minF(minX, p.X), maxF(maxX, p.X)
+		minY, maxY = minF(minY, p.Y), maxF(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		y := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - y
+		grid[row][x] = '*'
+		for i, c := range []byte(p.Label) {
+			cx := x + 1 + i
+			if cx < width && grid[row][cx] == ' ' {
+				grid[row][cx] = c
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for _, line := range grid {
+		fmt.Fprintf(&b, "  |%s\n", strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "   %-10.4g%s%10.4g  (%s)\n", minX, strings.Repeat(" ", width-22), maxX, xLabel)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

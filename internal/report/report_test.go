@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "A", "Longer", "C")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("wide-cell", "x")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Header and separator must align.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header/separator misaligned:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Missing cell renders empty, extra cells dropped.
+	tb2 := NewTable("", "A")
+	tb2.AddRow("1", "dropped")
+	if !strings.Contains(tb2.String(), "1") || strings.Contains(tb2.String(), "dropped") {
+		t.Errorf("cell handling wrong:\n%s", tb2.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "A", "B")
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "A,B\n1,2\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+}
+
+func TestChart(t *testing.T) {
+	var b strings.Builder
+	err := Chart(&b, "curve", "x", "y", []Point{
+		{X: 0, Y: 10, Label: "10"},
+		{X: 100, Y: 2, Label: "2"},
+		{X: 50, Y: 5, Label: "5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("expected 3 points:\n%s", out)
+	}
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "(x)") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, "t", "x", "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	b.Reset()
+	// Single point: ranges are degenerate but must not divide by zero.
+	if err := Chart(&b, "t", "x", "y", []Point{{X: 1, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "*") != 1 {
+		t.Error("single point lost")
+	}
+}

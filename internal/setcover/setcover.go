@@ -1,0 +1,147 @@
+// Package setcover implements unate set covering: reduction by essentiality
+// and dominance, an exact branch-and-bound solver, and the classical greedy
+// heuristic.
+//
+// This is the paper's optimization core. The Detection Matrix (rows =
+// candidate triplets, columns = faults) is reduced with the two classical
+// covering-table techniques — essential rows are forced into the solution,
+// dominated rows and implied columns are deleted — and the residual matrix
+// is solved exactly. The exact solver replaces the commercial ILP package
+// LINGO used in the paper; both deliver a provably minimum cover of the
+// residual, which is all the experiment requires.
+//
+// The package is deliberately independent of testing concepts: rows cover
+// columns, nothing more, mirroring how the paper leans on generic
+// two-level-minimization theory (McCluskey-style essentiality/dominance).
+package setcover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Problem is a unate covering instance: choose a minimum set of rows whose
+// union covers every column.
+type Problem struct {
+	numCols int
+	rows    []*bitvec.Set
+}
+
+// NewProblem returns an empty problem over the given column universe.
+func NewProblem(numCols int) *Problem {
+	if numCols < 0 {
+		panic(fmt.Sprintf("setcover: negative column count %d", numCols))
+	}
+	return &Problem{numCols: numCols}
+}
+
+// AddRow adds a row covering the given column set and returns its index.
+// The set is cloned; later mutation of the argument does not affect the
+// problem.
+func (p *Problem) AddRow(covers *bitvec.Set) int {
+	if covers.Universe() != p.numCols {
+		panic(fmt.Sprintf("setcover: row universe %d != %d columns", covers.Universe(), p.numCols))
+	}
+	p.rows = append(p.rows, covers.Clone())
+	return len(p.rows) - 1
+}
+
+// NumRows returns the number of rows.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// NumCols returns the column universe size.
+func (p *Problem) NumCols() int { return p.numCols }
+
+// Row returns the column set of row i. The returned set is owned by the
+// problem and must not be modified.
+func (p *Problem) Row(i int) *bitvec.Set { return p.rows[i] }
+
+// UncoverableColumns returns the columns no row covers. A covering exists
+// iff the result is empty.
+func (p *Problem) UncoverableColumns() []int {
+	u := bitvec.NewSet(p.numCols)
+	u.Fill()
+	for _, r := range p.rows {
+		u.AndNot(r)
+		if u.Empty() {
+			break
+		}
+	}
+	if u.Empty() {
+		return nil
+	}
+	return u.Elements()
+}
+
+// Verify reports whether the given rows cover every column.
+func (p *Problem) Verify(rows []int) bool {
+	covered := bitvec.NewSet(p.numCols)
+	for _, r := range rows {
+		if r < 0 || r >= len(p.rows) {
+			return false
+		}
+		covered.Or(p.rows[r])
+	}
+	return covered.Len() == p.numCols
+}
+
+// Minimal reports whether the cover is irredundant: removing any single row
+// breaks coverage. This is the paper's definition of a minimal solution.
+func (p *Problem) Minimal(rows []int) bool {
+	if !p.Verify(rows) {
+		return false
+	}
+	for skip := range rows {
+		covered := bitvec.NewSet(p.numCols)
+		for i, r := range rows {
+			if i != skip {
+				covered.Or(p.rows[r])
+			}
+		}
+		if covered.Len() == p.numCols {
+			return false
+		}
+	}
+	return true
+}
+
+// Solution is the outcome of a solver run.
+type Solution struct {
+	// Rows are the selected row indices (into the problem they were solved
+	// on), sorted ascending.
+	Rows []int
+	// Optimal reports whether the solver proved minimality of Rows' size.
+	Optimal bool
+	// Nodes counts branch-and-bound nodes explored (0 for greedy).
+	Nodes int64
+}
+
+// SolveGreedy runs Chvátal's greedy heuristic: repeatedly take the row
+// covering the most uncovered columns. Ties break toward lower row index,
+// making the result deterministic.
+func (p *Problem) SolveGreedy() (Solution, error) {
+	if bad := p.UncoverableColumns(); bad != nil {
+		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
+	}
+	uncovered := bitvec.NewSet(p.numCols)
+	uncovered.Fill()
+	var sol Solution
+	for !uncovered.Empty() {
+		best, bestGain := -1, 0
+		for i, r := range p.rows {
+			gain := r.IntersectionLen(uncovered)
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return Solution{}, fmt.Errorf("setcover: internal: no progress with %d columns uncovered", uncovered.Len())
+		}
+		sol.Rows = append(sol.Rows, best)
+		uncovered.AndNot(p.rows[best])
+	}
+	sort.Ints(sol.Rows)
+	return sol, nil
+}

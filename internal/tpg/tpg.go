@@ -1,0 +1,293 @@
+// Package tpg models the test pattern generators of the Functional BIST
+// scheme: existing system modules (accumulators, LFSRs) reused to apply test
+// patterns to a unit under test.
+//
+// A generator is driven by a triplet (δ, θ, T): its state register is loaded
+// with δ, its input register held at θ, and it is clocked for T cycles. The
+// T state-register values that appear on its outputs are the test set of the
+// triplet. With T = 1 the test set is exactly {δ}, which is how the initial
+// reseeding of the paper covers the fault list by construction (δ_i = p_i,
+// the i-th ATPG pattern).
+package tpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitvec"
+)
+
+// Generator is a functional module usable as a test pattern generator. A
+// Generator is stateful and not safe for concurrent use.
+type Generator interface {
+	// Name identifies the generator kind (e.g. "adder").
+	Name() string
+	// Width is the pattern width in bits; it must equal the number of UUT
+	// inputs.
+	Width() int
+	// Load seeds the state register with delta and the input register with
+	// theta.
+	Load(delta, theta bitvec.Vector) error
+	// Output returns the pattern applied to the UUT in the current cycle.
+	Output() bitvec.Vector
+	// Step advances the state register by one clock cycle.
+	Step()
+	// RandomTheta draws a θ value appropriate for this generator kind (for
+	// a multiplier the value is forced odd so the state does not collapse
+	// to zero; for an LFSR θ selects the feedback polynomial).
+	RandomTheta(rng *rand.Rand) bitvec.Vector
+}
+
+// Triplet is one reseeding: state seed δ, input value θ, and evolution
+// length T in clock cycles.
+type Triplet struct {
+	Delta  bitvec.Vector
+	Theta  bitvec.Vector
+	Cycles int
+}
+
+// String summarizes the triplet without printing full-width seeds.
+func (t Triplet) String() string {
+	return fmt.Sprintf("(δ=%s… θ=%s… T=%d)", prefix(t.Delta, 8), prefix(t.Theta, 8), t.Cycles)
+}
+
+func prefix(v bitvec.Vector, n int) string {
+	s := v.Hex()
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// Expand runs the generator under the triplet and returns its test set: the
+// sequence of T output patterns.
+func Expand(g Generator, t Triplet) ([]bitvec.Vector, error) {
+	if t.Cycles < 0 {
+		return nil, fmt.Errorf("tpg: negative cycle count %d", t.Cycles)
+	}
+	if err := g.Load(t.Delta, t.Theta); err != nil {
+		return nil, err
+	}
+	out := make([]bitvec.Vector, t.Cycles)
+	for i := 0; i < t.Cycles; i++ {
+		out[i] = g.Output()
+		g.Step()
+	}
+	return out, nil
+}
+
+// AccOp selects the arithmetic function of an accumulator-based generator.
+type AccOp int
+
+// Accumulator operations, matching the three TPGs evaluated in the paper.
+const (
+	OpAdd AccOp = iota // S ← S + θ mod 2^n
+	OpSub              // S ← S − θ mod 2^n
+	OpMul              // S ← S × θ mod 2^n
+)
+
+func (op AccOp) String() string {
+	switch op {
+	case OpAdd:
+		return "adder"
+	case OpSub:
+		return "subtracter"
+	case OpMul:
+		return "multiplier"
+	default:
+		return fmt.Sprintf("AccOp(%d)", int(op))
+	}
+}
+
+// Accumulator is an accumulator-based TPG: an n-bit register updated through
+// an adder, subtracter or multiplier whose second operand is the input
+// register. These are the arithmetic-BIST structures of Rajski/Tyszer and
+// Dorsch/Wunderlich reused as pattern generators.
+type Accumulator struct {
+	op    AccOp
+	width int
+	state bitvec.Vector
+	theta bitvec.Vector
+}
+
+// NewAccumulator returns an accumulator TPG of the given operation and width.
+func NewAccumulator(op AccOp, width int) (*Accumulator, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("tpg: invalid accumulator width %d", width)
+	}
+	switch op {
+	case OpAdd, OpSub, OpMul:
+	default:
+		return nil, fmt.Errorf("tpg: unknown accumulator op %d", int(op))
+	}
+	return &Accumulator{
+		op:    op,
+		width: width,
+		state: bitvec.New(width),
+		theta: bitvec.New(width),
+	}, nil
+}
+
+// NewAdder returns an adder-based accumulator TPG.
+func NewAdder(width int) (*Accumulator, error) { return NewAccumulator(OpAdd, width) }
+
+// NewSubtracter returns a subtracter-based accumulator TPG.
+func NewSubtracter(width int) (*Accumulator, error) { return NewAccumulator(OpSub, width) }
+
+// NewMultiplier returns a multiplier-based accumulator TPG.
+func NewMultiplier(width int) (*Accumulator, error) { return NewAccumulator(OpMul, width) }
+
+// Name implements Generator.
+func (a *Accumulator) Name() string { return a.op.String() }
+
+// Width implements Generator.
+func (a *Accumulator) Width() int { return a.width }
+
+// Load implements Generator.
+func (a *Accumulator) Load(delta, theta bitvec.Vector) error {
+	if delta.Width() != a.width || theta.Width() != a.width {
+		return fmt.Errorf("tpg: %s: seed widths %d/%d do not match generator width %d",
+			a.Name(), delta.Width(), theta.Width(), a.width)
+	}
+	a.state = delta.Clone()
+	a.theta = theta.Clone()
+	return nil
+}
+
+// Output implements Generator.
+func (a *Accumulator) Output() bitvec.Vector { return a.state.Clone() }
+
+// Step implements Generator.
+func (a *Accumulator) Step() {
+	switch a.op {
+	case OpAdd:
+		a.state = bitvec.Add(a.state, a.theta)
+	case OpSub:
+		a.state = bitvec.Sub(a.state, a.theta)
+	case OpMul:
+		a.state = bitvec.Mul(a.state, a.theta)
+	}
+}
+
+// RandomTheta implements Generator. For the multiplier the result is forced
+// odd (a unit mod 2^n), otherwise repeated multiplication collapses the
+// state register to zero and the triplet's test set degenerates.
+func (a *Accumulator) RandomTheta(rng *rand.Rand) bitvec.Vector {
+	v := bitvec.Random(a.width, rng)
+	if a.op == OpMul {
+		v.SetBit(0, true)
+	} else if v.IsZero() {
+		// A zero increment makes every pattern identical; nudge it.
+		v.SetBit(0, true)
+	}
+	return v
+}
+
+// LFSR is a Galois (one-to-many) linear feedback shift register TPG with a
+// bank of selectable feedback polynomials, in the style of the
+// multiple-polynomial reseeding scheme of Hellebrand et al. The input
+// register value θ selects the polynomial: poly = θ mod len(polys).
+type LFSR struct {
+	width int
+	polys []bitvec.Vector // tap masks; bit i set = tap after stage i
+	state bitvec.Vector
+	taps  bitvec.Vector
+}
+
+// NewLFSR returns an LFSR TPG of the given width with the given tap masks.
+// Every mask must have the top bit set (so the register keeps its full
+// period structure); at least one polynomial is required.
+func NewLFSR(width int, polys []bitvec.Vector) (*LFSR, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("tpg: invalid LFSR width %d", width)
+	}
+	if len(polys) == 0 {
+		return nil, fmt.Errorf("tpg: LFSR needs at least one polynomial")
+	}
+	for i, p := range polys {
+		if p.Width() != width {
+			return nil, fmt.Errorf("tpg: polynomial %d has width %d, want %d", i, p.Width(), width)
+		}
+		if !p.Bit(width - 1) {
+			return nil, fmt.Errorf("tpg: polynomial %d lacks the top tap", i)
+		}
+	}
+	return &LFSR{
+		width: width,
+		polys: polys,
+		state: bitvec.New(width),
+		taps:  polys[0].Clone(),
+	}, nil
+}
+
+// DefaultPolynomials derives k deterministic tap masks of the given width
+// from the seed. The masks are random with the top tap forced; they are not
+// guaranteed primitive but give long, distinct orbits in practice.
+func DefaultPolynomials(width, k int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitvec.Vector, k)
+	for i := range out {
+		p := bitvec.Random(width, rng)
+		p.SetBit(width-1, true)
+		p.SetBit(0, true) // ensure the characteristic polynomial has x^0
+		out[i] = p
+	}
+	return out
+}
+
+// Name implements Generator.
+func (l *LFSR) Name() string { return "lfsr" }
+
+// Width implements Generator.
+func (l *LFSR) Width() int { return l.width }
+
+// Load implements Generator. θ selects the feedback polynomial by value
+// modulo the polynomial count.
+func (l *LFSR) Load(delta, theta bitvec.Vector) error {
+	if delta.Width() != l.width || theta.Width() != l.width {
+		return fmt.Errorf("tpg: lfsr: seed widths %d/%d do not match width %d",
+			delta.Width(), theta.Width(), l.width)
+	}
+	l.state = delta.Clone()
+	idx := int(theta.Uint64() % uint64(len(l.polys)))
+	l.taps = l.polys[idx].Clone()
+	return nil
+}
+
+// Output implements Generator.
+func (l *LFSR) Output() bitvec.Vector { return l.state.Clone() }
+
+// Step implements Generator: Galois right shift; when the LSB is 1 the tap
+// mask is XORed into the shifted state.
+func (l *LFSR) Step() {
+	lsb := l.state.Bit(0)
+	l.state = bitvec.ShiftRight(l.state, 1)
+	if lsb {
+		l.state = bitvec.Xor(l.state, l.taps)
+	}
+}
+
+// RandomTheta implements Generator: a random polynomial selector.
+func (l *LFSR) RandomTheta(rng *rand.Rand) bitvec.Vector {
+	return bitvec.FromUint64(l.width, uint64(rng.Intn(len(l.polys))))
+}
+
+// ByName constructs a generator by kind name: "adder", "subtracter",
+// "multiplier", or "lfsr" (with k default polynomials).
+func ByName(kind string, width int) (Generator, error) {
+	switch kind {
+	case "adder", "add":
+		return NewAdder(width)
+	case "subtracter", "sub":
+		return NewSubtracter(width)
+	case "multiplier", "mul":
+		return NewMultiplier(width)
+	case "lfsr":
+		return NewLFSR(width, DefaultPolynomials(width, 8, 1))
+	default:
+		return nil, fmt.Errorf("tpg: unknown generator kind %q", kind)
+	}
+}
+
+// Kinds lists the generator kind names accepted by ByName.
+func Kinds() []string { return []string{"adder", "subtracter", "multiplier", "lfsr"} }

@@ -1,0 +1,315 @@
+package tpg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestAdderSequence(t *testing.T) {
+	g, err := NewAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Expand(g, Triplet{
+		Delta:  bitvec.FromUint64(8, 10),
+		Theta:  bitvec.FromUint64(8, 3),
+		Cycles: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 13, 16, 19, 22}
+	for i, w := range want {
+		if ts[i].Uint64() != w {
+			t.Errorf("pattern %d = %d, want %d", i, ts[i].Uint64(), w)
+		}
+	}
+}
+
+func TestAdderWraps(t *testing.T) {
+	g, _ := NewAdder(8)
+	ts, _ := Expand(g, Triplet{
+		Delta:  bitvec.FromUint64(8, 250),
+		Theta:  bitvec.FromUint64(8, 10),
+		Cycles: 3,
+	})
+	want := []uint64{250, 4, 14}
+	for i, w := range want {
+		if ts[i].Uint64() != w {
+			t.Errorf("pattern %d = %d, want %d", i, ts[i].Uint64(), w)
+		}
+	}
+}
+
+func TestSubtracterSequence(t *testing.T) {
+	g, _ := NewSubtracter(8)
+	ts, _ := Expand(g, Triplet{
+		Delta:  bitvec.FromUint64(8, 5),
+		Theta:  bitvec.FromUint64(8, 3),
+		Cycles: 4,
+	})
+	want := []uint64{5, 2, 255, 252}
+	for i, w := range want {
+		if ts[i].Uint64() != w {
+			t.Errorf("pattern %d = %d, want %d", i, ts[i].Uint64(), w)
+		}
+	}
+}
+
+func TestMultiplierSequence(t *testing.T) {
+	g, _ := NewMultiplier(8)
+	ts, _ := Expand(g, Triplet{
+		Delta:  bitvec.FromUint64(8, 3),
+		Theta:  bitvec.FromUint64(8, 5),
+		Cycles: 4,
+	})
+	want := []uint64{3, 15, 75, 375 % 256}
+	for i, w := range want {
+		if ts[i].Uint64() != w {
+			t.Errorf("pattern %d = %d, want %d", i, ts[i].Uint64(), w)
+		}
+	}
+}
+
+// The paper's key construction: with T = 1 the test set is exactly {δ}.
+func TestCycleOneYieldsSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, kind := range Kinds() {
+		g, err := ByName(kind, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := bitvec.Random(32, rng)
+		ts, err := Expand(g, Triplet{Delta: delta, Theta: g.RandomTheta(rng), Cycles: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != 1 || !ts[0].Equal(delta) {
+			t.Errorf("%s: T=1 test set != {δ}", kind)
+		}
+	}
+}
+
+func TestLoadWidthMismatch(t *testing.T) {
+	g, _ := NewAdder(8)
+	if err := g.Load(bitvec.New(7), bitvec.New(8)); err == nil {
+		t.Error("expected width mismatch error for delta")
+	}
+	if err := g.Load(bitvec.New(8), bitvec.New(9)); err == nil {
+		t.Error("expected width mismatch error for theta")
+	}
+	l, _ := NewLFSR(8, DefaultPolynomials(8, 2, 1))
+	if err := l.Load(bitvec.New(9), bitvec.New(8)); err == nil {
+		t.Error("expected width mismatch error for LFSR")
+	}
+}
+
+func TestExpandNegativeCycles(t *testing.T) {
+	g, _ := NewAdder(8)
+	if _, err := Expand(g, Triplet{Delta: bitvec.New(8), Theta: bitvec.New(8), Cycles: -1}); err == nil {
+		t.Error("expected error for negative cycles")
+	}
+}
+
+func TestMultiplierThetaForcedOdd(t *testing.T) {
+	g, _ := NewMultiplier(64)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		theta := g.RandomTheta(rng)
+		if !theta.Bit(0) {
+			t.Fatal("multiplier RandomTheta returned an even value")
+		}
+	}
+}
+
+func TestAdderThetaNeverZero(t *testing.T) {
+	g, _ := NewAdder(1) // width 1 makes zero highly likely
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if g.RandomTheta(rng).IsZero() {
+			t.Fatal("adder RandomTheta returned zero")
+		}
+	}
+}
+
+// Property: multiplier with odd θ is a bijection on states, so distinct δ
+// give distinct patterns at every cycle.
+func TestMultiplierOddThetaBijectiveQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prop := func(uint8) bool {
+		w := 4 + rng.Intn(60)
+		g, _ := NewMultiplier(w)
+		theta := g.RandomTheta(rng)
+		d1, d2 := bitvec.Random(w, rng), bitvec.Random(w, rng)
+		if d1.Equal(d2) {
+			return true
+		}
+		ts1, _ := Expand(g, Triplet{Delta: d1, Theta: theta, Cycles: 8})
+		g2, _ := NewMultiplier(w)
+		ts2, _ := Expand(g2, Triplet{Delta: d2, Theta: theta, Cycles: 8})
+		for i := range ts1 {
+			if ts1[i].Equal(ts2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLFSRStepKnownSequence(t *testing.T) {
+	// 4-bit Galois LFSR with taps x^4 + x^3 + 1 (mask 0b1100 in our
+	// shift-right form: tap bits at positions 3 and 2).
+	taps := bitvec.MustFromString("1100")
+	l, err := NewLFSR(4, []bitvec.Vector{taps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Expand(l, Triplet{
+		Delta:  bitvec.MustFromString("0001"),
+		Theta:  bitvec.New(4),
+		Cycles: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// state 0001 -> shift 0000 ^ 1100 = 1100 -> 0110 -> 0011.
+	want := []string{"0001", "1100", "0110", "0011"}
+	for i, w := range want {
+		if got := ts[i].String(); got != w {
+			t.Errorf("cycle %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestLFSRPeriod(t *testing.T) {
+	// With the x^4+x^3+1 (primitive) polynomial the nonzero orbit has
+	// period 15.
+	taps := bitvec.MustFromString("1100")
+	l, _ := NewLFSR(4, []bitvec.Vector{taps})
+	start := bitvec.MustFromString("1000")
+	if err := l.Load(start, bitvec.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	period := 0
+	for {
+		s := l.Output().String()
+		if seen[s] {
+			break
+		}
+		seen[s] = true
+		period++
+		l.Step()
+	}
+	if period != 15 {
+		t.Errorf("period = %d, want 15", period)
+	}
+}
+
+func TestLFSRZeroLockup(t *testing.T) {
+	l, _ := NewLFSR(8, DefaultPolynomials(8, 1, 1))
+	ts, _ := Expand(l, Triplet{Delta: bitvec.New(8), Theta: bitvec.New(8), Cycles: 3})
+	for i, p := range ts {
+		if !p.IsZero() {
+			t.Errorf("cycle %d: zero state escaped to %s", i, p)
+		}
+	}
+}
+
+func TestLFSRPolynomialSelection(t *testing.T) {
+	polys := DefaultPolynomials(16, 4, 7)
+	l, _ := NewLFSR(16, polys)
+	delta := bitvec.FromUint64(16, 0x8001)
+	runWith := func(sel uint64) string {
+		ts, err := Expand(l, Triplet{Delta: delta, Theta: bitvec.FromUint64(16, sel), Cycles: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for _, p := range ts {
+			s += p.Hex()
+		}
+		return s
+	}
+	if runWith(0) == runWith(1) {
+		t.Error("different θ selectors should pick different polynomials")
+	}
+	if runWith(1) != runWith(5) {
+		t.Error("θ=1 and θ=5 select the same polynomial (mod 4) and must agree")
+	}
+}
+
+func TestLFSRRejectsBadPolys(t *testing.T) {
+	if _, err := NewLFSR(8, nil); err == nil {
+		t.Error("expected error for no polynomials")
+	}
+	noTop := bitvec.New(8)
+	noTop.SetBit(0, true)
+	if _, err := NewLFSR(8, []bitvec.Vector{noTop}); err == nil {
+		t.Error("expected error for polynomial without top tap")
+	}
+	if _, err := NewLFSR(8, []bitvec.Vector{bitvec.New(7)}); err == nil {
+		t.Error("expected error for wrong-width polynomial")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, kind := range Kinds() {
+		g, err := ByName(kind, 16)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", kind, err)
+			continue
+		}
+		if g.Width() != 16 {
+			t.Errorf("%s width = %d", kind, g.Width())
+		}
+	}
+	if _, err := ByName("bogus", 16); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestAccumulatorRejectsBadWidth(t *testing.T) {
+	if _, err := NewAdder(0); err == nil {
+		t.Error("expected error for zero width")
+	}
+	if _, err := NewAccumulator(AccOp(99), 8); err == nil {
+		t.Error("expected error for unknown op")
+	}
+}
+
+func TestOutputIsACopy(t *testing.T) {
+	g, _ := NewAdder(8)
+	_ = g.Load(bitvec.FromUint64(8, 1), bitvec.FromUint64(8, 1))
+	o := g.Output()
+	o.SetBit(7, true)
+	if g.Output().Bit(7) {
+		t.Error("Output exposes internal state")
+	}
+}
+
+func BenchmarkAdderStep256(b *testing.B) {
+	g, _ := NewAdder(256)
+	rng := rand.New(rand.NewSource(1))
+	_ = g.Load(bitvec.Random(256, rng), bitvec.Random(256, rng))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}
+
+func BenchmarkMultiplierStep256(b *testing.B) {
+	g, _ := NewMultiplier(256)
+	rng := rand.New(rand.NewSource(1))
+	_ = g.Load(bitvec.Random(256, rng), g.RandomTheta(rng))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}

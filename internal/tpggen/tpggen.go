@@ -1,0 +1,261 @@
+// Package tpggen synthesizes the test pattern generators of package tpg as
+// gate-level netlists: the hardware a Functional BIST insertion flow would
+// actually place next to the unit under test.
+//
+// Each generated circuit follows the same register model as the behavioral
+// generators: the state register is a bank of DFFs (one per output bit),
+// the input register θ appears as primary inputs held constant during a
+// session, and every state bit is a primary output, so the circuit's
+// primary output vector at cycle j is exactly the behavioral generator's
+// j-th pattern. Equivalence against the behavioral models is established
+// by the package tests via logicsim.SeqSimulator.
+package tpggen
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/netlist"
+	"repro/internal/tpg"
+)
+
+// Adder synthesizes an adder-based accumulator: a width-bit state register
+// updated through a ripple-carry adder, S ← S + θ mod 2^width.
+//
+// Interface: inputs theta0..theta{n-1}; outputs s0..s{n-1} (the state
+// register); DFFs s{i} in bit order.
+func Adder(width int) (*netlist.Circuit, error) {
+	return accumulator("tpg_adder", width, false)
+}
+
+// Subtracter synthesizes S ← S − θ using the two's-complement identity
+// S + ~θ + 1: the θ operand enters inverted and the ripple carry-in is 1.
+func Subtracter(width int) (*netlist.Circuit, error) {
+	return accumulator("tpg_subtracter", width, true)
+}
+
+func accumulator(name string, width int, subtract bool) (*netlist.Circuit, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("tpggen: invalid width %d", width)
+	}
+	c := netlist.New(name)
+	for i := 0; i < width; i++ {
+		if _, err := c.AddInput(sig("theta", i)); err != nil {
+			return nil, err
+		}
+	}
+	// State register; D inputs are forward references resolved below.
+	for i := 0; i < width; i++ {
+		if _, err := c.AddGate(sig("s", i), netlist.DFF, sig("d", i)); err != nil {
+			return nil, err
+		}
+		if err := c.MarkOutput(sig("s", i)); err != nil {
+			return nil, err
+		}
+	}
+	// Operand conditioning: the subtracter complements θ.
+	operand := func(i int) string { return sig("theta", i) }
+	if subtract {
+		for i := 0; i < width; i++ {
+			if _, err := c.AddGate(sig("nt", i), netlist.Not, sig("theta", i)); err != nil {
+				return nil, err
+			}
+		}
+		operand = func(i int) string { return sig("nt", i) }
+	}
+	// Carry-in: 0 for addition, 1 for two's-complement subtraction.
+	carryKind := netlist.Const0
+	if subtract {
+		carryKind = netlist.Const1
+	}
+	if _, err := c.AddGate("c0", carryKind); err != nil {
+		return nil, err
+	}
+	// Ripple-carry full adders: d_i = s_i ⊕ b_i ⊕ c_i,
+	// c_{i+1} = (s_i ∧ b_i) ∨ (c_i ∧ (s_i ⊕ b_i)).
+	for i := 0; i < width; i++ {
+		p := sig("p", i) // propagate: s_i ⊕ b_i
+		if _, err := c.AddGate(p, netlist.Xor, sig("s", i), operand(i)); err != nil {
+			return nil, err
+		}
+		if _, err := c.AddGate(sig("d", i), netlist.Xor, p, sig("c", i)); err != nil {
+			return nil, err
+		}
+		if i == width-1 {
+			break // top carry-out is discarded (mod 2^width)
+		}
+		g := sig("g", i) // generate: s_i ∧ b_i
+		if _, err := c.AddGate(g, netlist.And, sig("s", i), operand(i)); err != nil {
+			return nil, err
+		}
+		cp := sig("cp", i) // carry propagate term: c_i ∧ p_i
+		if _, err := c.AddGate(cp, netlist.And, sig("c", i), p); err != nil {
+			return nil, err
+		}
+		if _, err := c.AddGate(sig("c", i+1), netlist.Or, g, cp); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Multiplier synthesizes S ← S × θ mod 2^width as a shift-and-add array:
+// width rows of conditional ripple-carry adders. Gate count grows
+// quadratically (≈ 6·width²), matching the real cost of reusing a
+// combinational multiplier as a TPG.
+func Multiplier(width int) (*netlist.Circuit, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("tpggen: invalid width %d", width)
+	}
+	c := netlist.New("tpg_multiplier")
+	for i := 0; i < width; i++ {
+		if _, err := c.AddInput(sig("theta", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < width; i++ {
+		if _, err := c.AddGate(sig("s", i), netlist.DFF, sig("d", i)); err != nil {
+			return nil, err
+		}
+		if err := c.MarkOutput(sig("s", i)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.AddGate("zero", netlist.Const0); err != nil {
+		return nil, err
+	}
+
+	// acc holds the running partial sum names; row r adds (S ∧ θ_r) << r.
+	// Only bits < width matter (mod 2^width).
+	acc := make([]string, width)
+	for i := range acc {
+		acc[i] = "zero"
+	}
+	for r := 0; r < width; r++ {
+		// Partial product row: pp_{r,i} = s_i ∧ θ_r, contributing to bit r+i.
+		// Positions below r keep the accumulator unchanged.
+		carry := "zero"
+		next := make([]string, width)
+		copy(next, acc)
+		for i := 0; r+i < width; i++ {
+			pp := sig2("pp", r, i)
+			if _, err := c.AddGate(pp, netlist.And, sig("s", i), sig("theta", r)); err != nil {
+				return nil, err
+			}
+			pos := r + i
+			p := sig2("mp", r, pos)
+			if _, err := c.AddGate(p, netlist.Xor, acc[pos], pp); err != nil {
+				return nil, err
+			}
+			sum := sig2("ms", r, pos)
+			if _, err := c.AddGate(sum, netlist.Xor, p, carry); err != nil {
+				return nil, err
+			}
+			next[pos] = sum
+			if pos == width-1 {
+				break // carry out of the top bit is discarded
+			}
+			g := sig2("mg", r, pos)
+			if _, err := c.AddGate(g, netlist.And, acc[pos], pp); err != nil {
+				return nil, err
+			}
+			cp := sig2("mc", r, pos)
+			if _, err := c.AddGate(cp, netlist.And, carry, p); err != nil {
+				return nil, err
+			}
+			co := sig2("mo", r, pos)
+			if _, err := c.AddGate(co, netlist.Or, g, cp); err != nil {
+				return nil, err
+			}
+			carry = co
+		}
+		acc = next
+	}
+	for i := 0; i < width; i++ {
+		if _, err := c.AddGate(sig("d", i), netlist.Buf, acc[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LFSR synthesizes a Galois (one-to-many) LFSR with a fixed tap mask: on
+// each clock the register shifts right and the tap positions XOR in the
+// old bit 0. The mask must have its top bit set, as in tpg.NewLFSR.
+func LFSR(width int, taps bitvec.Vector) (*netlist.Circuit, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("tpggen: invalid width %d", width)
+	}
+	if taps.Width() != width {
+		return nil, fmt.Errorf("tpggen: tap mask width %d, want %d", taps.Width(), width)
+	}
+	if !taps.Bit(width - 1) {
+		return nil, fmt.Errorf("tpggen: tap mask lacks the top tap")
+	}
+	c := netlist.New("tpg_lfsr")
+	for i := 0; i < width; i++ {
+		if _, err := c.AddGate(sig("s", i), netlist.DFF, sig("d", i)); err != nil {
+			return nil, err
+		}
+		if err := c.MarkOutput(sig("s", i)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.AddGate("zero", netlist.Const0); err != nil {
+		return nil, err
+	}
+	// next[i] = s[i+1] ⊕ (taps[i] ∧ s[0]); s[width] = 0.
+	for i := 0; i < width; i++ {
+		shifted := sig("s", i+1)
+		if i == width-1 {
+			shifted = "zero"
+		}
+		if taps.Bit(i) {
+			if _, err := c.AddGate(sig("d", i), netlist.Xor, shifted, sig("s", 0)); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := c.AddGate(sig("d", i), netlist.Buf, shifted); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FromKind synthesizes the named generator kind ("adder", "subtracter",
+// "multiplier", "lfsr"). The LFSR uses the first default polynomial of
+// package tpg, so behaviour matches tpg.ByName with θ = 0.
+func FromKind(kind string, width int) (*netlist.Circuit, error) {
+	switch kind {
+	case "adder", "add":
+		return Adder(width)
+	case "subtracter", "sub":
+		return Subtracter(width)
+	case "multiplier", "mul":
+		return Multiplier(width)
+	case "lfsr":
+		return LFSR(width, defaultTaps(width))
+	default:
+		return nil, fmt.Errorf("tpggen: unknown generator kind %q", kind)
+	}
+}
+
+// defaultTaps matches tpg.ByName("lfsr", width) with θ = 0, which selects
+// the first of the default polynomial bank.
+func defaultTaps(width int) bitvec.Vector {
+	return tpg.DefaultPolynomials(width, 1, 1)[0]
+}
+
+func sig(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+func sig2(prefix string, r, i int) string { return fmt.Sprintf("%s_%d_%d", prefix, r, i) }

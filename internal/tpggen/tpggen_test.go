@@ -1,0 +1,212 @@
+package tpggen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/tpg"
+)
+
+// runNetlist drives a synthesized TPG netlist for n cycles: the state
+// register is loaded with delta, the theta inputs are held constant, and
+// the primary outputs (the state register) are sampled each cycle.
+func runNetlist(t *testing.T, c *netlist.Circuit, delta, theta bitvec.Vector, n int) []bitvec.Vector {
+	t.Helper()
+	sim, err := logicsim.NewSequential(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.SetState(delta); err != nil {
+		t.Fatal(err)
+	}
+	in := bitvec.New(len(c.Inputs))
+	for i := 0; i < len(c.Inputs); i++ {
+		in.SetBit(i, theta.Bit(i))
+	}
+	out := make([]bitvec.Vector, n)
+	for cyc := 0; cyc < n; cyc++ {
+		// Output vector bit order equals state bit order by construction.
+		o, err := sim.StepOne(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[cyc] = o
+	}
+	return out
+}
+
+// expandBehavioral runs the behavioral model for the same triplet.
+func expandBehavioral(t *testing.T, g tpg.Generator, delta, theta bitvec.Vector, n int) []bitvec.Vector {
+	t.Helper()
+	ts, err := tpg.Expand(g, tpg.Triplet{Delta: delta, Theta: theta, Cycles: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestAdderMatchesBehavioral(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 2, 7, 8, 16, 33} {
+		hw, err := Adder(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beh, err := tpg.NewAdder(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			delta := bitvec.Random(width, rng)
+			theta := bitvec.Random(width, rng)
+			want := expandBehavioral(t, beh, delta, theta, 12)
+			got := runNetlist(t, hw, delta, theta, 12)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("width %d trial %d cycle %d: netlist %s, behavioral %s",
+						width, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSubtracterMatchesBehavioral(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, width := range []int{1, 3, 8, 21} {
+		hw, err := Subtracter(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beh, err := tpg.NewSubtracter(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			delta := bitvec.Random(width, rng)
+			theta := bitvec.Random(width, rng)
+			want := expandBehavioral(t, beh, delta, theta, 12)
+			got := runNetlist(t, hw, delta, theta, 12)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("width %d trial %d cycle %d: netlist %s, behavioral %s",
+						width, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplierMatchesBehavioral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, width := range []int{1, 2, 4, 8, 12} {
+		hw, err := Multiplier(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beh, err := tpg.NewMultiplier(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			delta := bitvec.Random(width, rng)
+			theta := beh.RandomTheta(rng) // odd, as the flow would use
+			want := expandBehavioral(t, beh, delta, theta, 8)
+			got := runNetlist(t, hw, delta, theta, 8)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("width %d trial %d cycle %d: netlist %s, behavioral %s",
+						width, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLFSRMatchesBehavioral(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, width := range []int{2, 4, 8, 16, 31} {
+		taps := tpg.DefaultPolynomials(width, 1, 1)[0]
+		hw, err := LFSR(width, taps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beh, err := tpg.NewLFSR(width, []bitvec.Vector{taps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			delta := bitvec.Random(width, rng)
+			theta := bitvec.New(width) // selects polynomial 0
+			want := expandBehavioral(t, beh, delta, theta, 20)
+			got := runNetlist(t, hw, delta, theta, 20)
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("width %d trial %d cycle %d: netlist %s, behavioral %s",
+						width, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFromKindAllKinds(t *testing.T) {
+	for _, kind := range tpg.Kinds() {
+		c, err := FromKind(kind, 8)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if len(c.Outputs) != 8 || len(c.DFFs) != 8 {
+			t.Errorf("%s: %d outputs, %d DFFs", kind, len(c.Outputs), len(c.DFFs))
+		}
+	}
+	if _, err := FromKind("bogus", 8); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	if _, err := Adder(0); err == nil {
+		t.Error("Adder(0) should fail")
+	}
+	if _, err := Multiplier(-1); err == nil {
+		t.Error("Multiplier(-1) should fail")
+	}
+	if _, err := LFSR(8, bitvec.New(7)); err == nil {
+		t.Error("LFSR with wrong tap width should fail")
+	}
+	noTop := bitvec.New(8)
+	if _, err := LFSR(8, noTop); err == nil {
+		t.Error("LFSR without top tap should fail")
+	}
+}
+
+func TestNetlistsRoundTripBenchFormat(t *testing.T) {
+	c, err := Adder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := netlist.Format(c)
+	c2, err := netlist.ParseString("rt", text)
+	if err != nil {
+		t.Fatalf("re-parse synthesized netlist: %v", err)
+	}
+	if c2.NumLogicGates() != c.NumLogicGates() || len(c2.DFFs) != len(c.DFFs) {
+		t.Error("round trip changed the netlist")
+	}
+}
+
+func TestMultiplierGateCountQuadratic(t *testing.T) {
+	small, _ := Multiplier(4)
+	large, _ := Multiplier(8)
+	// Doubling the width should roughly quadruple the array.
+	ratio := float64(large.NumLogicGates()) / float64(small.NumLogicGates())
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("gate growth ratio %.2f (4-bit: %d, 8-bit: %d)",
+			ratio, small.NumLogicGates(), large.NumLogicGates())
+	}
+}

@@ -1,0 +1,201 @@
+// Package reseeding computes minimal reseeding solutions for Functional
+// BIST test pattern generators by casting triplet selection as a unate set
+// covering problem, reproducing "On Applying the Set Covering Model to
+// Reseeding" (Chiusano, Di Carlo, Prinetto, Wunderlich — DATE 2001).
+//
+// A unit under test (UUT) is a combinational gate-level circuit (sequential
+// circuits are handled through their full-scan view). A test pattern
+// generator (TPG) is an existing functional module — an adder, subtracter or
+// multiplier accumulator, or an LFSR — that applies its state register to
+// the UUT inputs every clock cycle. A triplet (δ, θ, T) seeds the TPG and
+// lets it run for T cycles; a reseeding solution is a set of triplets whose
+// united test sets detect every target stuck-at fault.
+//
+// The flow is:
+//
+//	scan, _ := reseeding.ScanView("s1238")        // benchmark UUT
+//	flow, _ := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
+//	gen, _ := reseeding.NewTPG("adder", len(scan.Inputs))
+//	sol, _ := flow.Solve(gen, reseeding.Options{Cycles: 64, Seed: 2})
+//	fmt.Println(sol.NumTriplets(), sol.TestLength)
+//
+// Prepare runs the built-in ATPG once per circuit; Solve builds the
+// Detection Matrix for one generator, reduces it by essentiality and
+// dominance, and solves the residual covering problem exactly.
+package reseeding
+
+import (
+	"io"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/gatsby"
+	"repro/internal/logicsim"
+	"repro/internal/netlist"
+	"repro/internal/setcover"
+	"repro/internal/tpg"
+	"repro/internal/tpggen"
+)
+
+// Circuit is a gate-level netlist. Construct one with ParseBench, the
+// builder methods, or a named benchmark via OpenBenchmark/ScanView.
+type Circuit = netlist.Circuit
+
+// Gate is one node of a Circuit.
+type Gate = netlist.Gate
+
+// Fault is a single stuck-at fault on a circuit line.
+type Fault = fault.Fault
+
+// Generator is a functional module used as a test pattern generator.
+type Generator = tpg.Generator
+
+// Triplet is one reseeding: state seed δ, input value θ, evolution length T.
+type Triplet = tpg.Triplet
+
+// Flow carries the per-circuit artifacts (fault list, ATPG test set) shared
+// by every generator and evolution length.
+type Flow = core.Flow
+
+// Solution is a computed reseeding solution with its covering statistics.
+type Solution = core.Solution
+
+// SelectedTriplet is one reseeding of a Solution.
+type SelectedTriplet = core.SelectedTriplet
+
+// Options configures Flow.Solve.
+type Options = core.Options
+
+// ATPGOptions configures the deterministic test generation step.
+type ATPGOptions = atpg.Options
+
+// ATPGResult reports the outcome of test generation.
+type ATPGResult = atpg.Result
+
+// TradeoffPoint is one sample of the reseedings-vs-test-length curve.
+type TradeoffPoint = core.TradeoffPoint
+
+// GatsbyConfig tunes the genetic-algorithm baseline.
+type GatsbyConfig = gatsby.Config
+
+// GatsbyResult is a baseline reseeding solution.
+type GatsbyResult = gatsby.Result
+
+// Solver kinds for Options.Solver.
+const (
+	SolverExact          = core.SolverExact
+	SolverGreedy         = core.SolverGreedy
+	SolverGreedyNoReduce = core.SolverGreedyNoReduce
+)
+
+// Objectives for Options.Objective.
+const (
+	// MinimizeTriplets minimizes the reseeding count (ROM area), the
+	// paper's objective.
+	MinimizeTriplets = core.MinimizeTriplets
+	// MinimizeTestLength minimizes the summed trimmed test lengths via
+	// weighted covering.
+	MinimizeTestLength = core.MinimizeTestLength
+)
+
+// ErrGatsbyTooLarge reports that the baseline's simulation budget rejects
+// the circuit (the paper's "-" entries for s13207 and s15850).
+var ErrGatsbyTooLarge = gatsby.ErrTooLarge
+
+// ParseBench reads a circuit in the ISCAS ".bench" text format and returns
+// it finalized.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	return netlist.Parse(name, r)
+}
+
+// FormatBench renders a circuit in ".bench" format.
+func FormatBench(c *Circuit) string { return netlist.Format(c) }
+
+// Benchmarks lists the built-in benchmark circuit names (synthetic stand-ins
+// for the ISCAS'85/'89 suite; see DESIGN.md for the substitution rationale).
+func Benchmarks() []string { return bench.List() }
+
+// OpenBenchmark generates the named benchmark circuit. Sequential circuits
+// keep their flip-flops; use ScanView for the combinational test view.
+func OpenBenchmark(name string) (*Circuit, error) { return bench.Named(name) }
+
+// ScanView generates the named benchmark in full-scan combinational form,
+// the shape consumed by Prepare.
+func ScanView(name string) (*Circuit, error) { return bench.ScanView(name) }
+
+// Faults returns the collapsed stuck-at fault list of a combinational
+// circuit.
+func Faults(c *Circuit) ([]Fault, error) {
+	list, _, err := fault.List(c)
+	return list, err
+}
+
+// NewTPG constructs a generator by kind: "adder", "subtracter",
+// "multiplier", or "lfsr". Width must equal the UUT's input count.
+func NewTPG(kind string, width int) (Generator, error) { return tpg.ByName(kind, width) }
+
+// TPGKinds lists the generator kinds accepted by NewTPG.
+func TPGKinds() []string { return tpg.Kinds() }
+
+// Prepare enumerates faults and runs the ATPG on a combinational circuit,
+// producing the Flow whose Solve method computes reseeding solutions.
+func Prepare(c *Circuit, opts ATPGOptions) (*Flow, error) { return core.Prepare(c, opts) }
+
+// Run is the one-shot convenience flow on a named benchmark circuit.
+func Run(circuit, tpgKind string, atpgOpts ATPGOptions, opts Options) (*Solution, error) {
+	scan, err := bench.ScanView(circuit)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := tpg.ByName(tpgKind, len(scan.Inputs))
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(scan, gen, atpgOpts, opts)
+}
+
+// RunGatsby runs the genetic-algorithm baseline on the same target fault
+// list a Flow would use, for comparison tables.
+func RunGatsby(c *Circuit, faults []Fault, gen Generator, cfg GatsbyConfig) (*GatsbyResult, error) {
+	return gatsby.Run(c, faults, gen, cfg)
+}
+
+// CoverProblem exposes the generic unate covering engine (rows cover
+// columns) for uses beyond reseeding.
+type CoverProblem = setcover.Problem
+
+// NewCoverProblem returns an empty covering problem over numCols columns.
+func NewCoverProblem(numCols int) *CoverProblem { return setcover.NewProblem(numCols) }
+
+// SynthesizeTPG emits the named generator kind as a gate-level netlist: the
+// BIST hardware corresponding to the behavioral Generator, with the state
+// register as DFFs, θ as primary inputs, and the pattern as primary
+// outputs. The netlist's cycle-by-cycle behaviour matches the behavioral
+// model exactly (verified by the tpggen package tests).
+func SynthesizeTPG(kind string, width int) (*Circuit, error) {
+	return tpggen.FromKind(kind, width)
+}
+
+// SeqSimulator steps sequential circuits cycle by cycle (64 parallel
+// streams), e.g. to run a synthesized TPG netlist.
+type SeqSimulator = logicsim.SeqSimulator
+
+// NewSequentialSimulator returns a cycle simulator for a finalized circuit.
+func NewSequentialSimulator(c *Circuit) (*SeqSimulator, error) {
+	return logicsim.NewSequential(c)
+}
+
+// ExperimentConfig drives the paper's evaluation tables.
+type ExperimentConfig = experiments.Config
+
+// CircuitResult aggregates one circuit's Table 1 / Table 2 data.
+type CircuitResult = experiments.CircuitResult
+
+// RunExperiments executes the Table 1 / Table 2 flow over the configured
+// circuits; see cmd/tables for the presentation layer.
+func RunExperiments(cfg ExperimentConfig) ([]*CircuitResult, error) {
+	return experiments.Run(cfg)
+}
