@@ -8,6 +8,10 @@
 // Usage:
 //
 //	faultsim -circuit c880 -patterns patterns.txt
+//	faultsim -circuit c880 -patterns patterns.txt -j 4
+//
+// The fault list is graded on a worker pool sized by -j (default: one worker
+// per processor); the detection report is bit-identical for every -j value.
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 		file     = flag.String("file", "", ".bench netlist file (overrides -circuit)")
 		patterns = flag.String("patterns", "", "pattern file (required)")
 		verbose  = flag.Bool("v", false, "list undetected faults")
+		jobs     = flag.Int("j", 0,
+			"worker goroutines for fault simulation (0 = all processors)")
 	)
 	flag.Parse()
 	if *patterns == "" {
@@ -51,7 +57,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := sim.Run(faults, pats, fsim.Options{DropDetected: true})
+	res, err := sim.Run(faults, pats, fsim.Options{DropDetected: true, Parallelism: *jobs})
 	if err != nil {
 		fail(err)
 	}

@@ -5,6 +5,11 @@
 //
 //	reseed -circuit s1238 -tpg adder -cycles 64
 //	reseed -file mydesign.bench -tpg multiplier -cycles 128 -v
+//	reseed -circuit s1238 -j 4        # bound the worker pool to 4 goroutines
+//
+// Fault simulation and Detection Matrix construction run on a worker pool
+// sized by -j (default: one worker per processor). The computed solution is
+// bit-identical for every -j value.
 package main
 
 import (
@@ -32,6 +37,8 @@ func main() {
 		noTrim  = flag.Bool("notrim", false, "keep full-length triplets (skip trailing-pattern deletion)")
 		jsonOut = flag.String("json", "", "also write the solution as JSON to this file")
 		verbose = flag.Bool("v", false, "print every selected triplet")
+		jobs    = flag.Int("j", 0,
+			"worker goroutines for fault simulation and matrix construction (0 = all processors)")
 	)
 	flag.Parse()
 
@@ -57,7 +64,7 @@ func main() {
 
 	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
 		c.Name, len(c.Inputs), len(c.Outputs), c.NumLogicGates())
-	flow, err := core.Prepare(c, atpg.Options{Seed: *seed})
+	flow, err := core.Prepare(c, atpg.Options{Seed: *seed, Parallelism: *jobs})
 	if err != nil {
 		fail(err)
 	}
@@ -76,11 +83,12 @@ func main() {
 	}
 
 	sol, err := flow.Solve(gen, core.Options{
-		Cycles:    *cycles,
-		Seed:      *seed + 1,
-		Solver:    solverKind,
-		Objective: objective,
-		NoTrim:    *noTrim,
+		Cycles:      *cycles,
+		Seed:        *seed + 1,
+		Solver:      solverKind,
+		Objective:   objective,
+		NoTrim:      *noTrim,
+		Parallelism: *jobs,
 	})
 	if err != nil {
 		fail(err)

@@ -33,15 +33,15 @@ func main() {
 		cycles   = flag.Int("cycles", 64, "candidate evolution length T")
 		seed     = flag.Int64("seed", 1, "random seed")
 		noGatsby = flag.Bool("nogatsby", false, "skip the GA baseline columns")
-		workers  = flag.Int("workers", 1, "goroutines for Detection Matrix construction")
+		jobs     = flag.Int("j", 0, "worker goroutines for fault simulation and matrix construction (0 = all processors)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{
-		Cycles:     *cycles,
-		Seed:       *seed,
-		WithGatsby: !*noGatsby,
-		Workers:    *workers,
+		Cycles:      *cycles,
+		Seed:        *seed,
+		WithGatsby:  !*noGatsby,
+		Parallelism: *jobs,
 	}
 	switch {
 	case *circuits != "":

@@ -32,6 +32,12 @@ type Options struct {
 	BacktrackLimit int
 	// SkipCompaction keeps the raw pattern list (useful for ablation).
 	SkipCompaction bool
+	// Parallelism bounds the fault-simulation worker pool used by the
+	// random, PODEM-grading and compaction phases. 1 forces serial; 0 (and
+	// any negative value) means one worker per available processor. The
+	// generated test set is bit-identical for any value (the fsim
+	// determinism guarantee; PODEM itself is single-threaded).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -143,7 +149,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 			block[i] = bitvec.Random(width, rng)
 		}
 		sub := subset(faults, undetected)
-		fres, err := sim.Run(sub, block, fsim.Options{DropDetected: true})
+		fres, err := sim.Run(sub, block, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}
@@ -212,7 +218,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 			break // every remaining fault in range was classified
 		}
 		sub := subset(faults, undetected)
-		fres, err := sim.Run(sub, batch, fsim.Options{DropDetected: true})
+		fres, err := sim.Run(sub, batch, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}
@@ -247,7 +253,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 		for i, p := range patterns {
 			reversed[len(patterns)-1-i] = p
 		}
-		fres, err := sim.Run(sub, reversed, fsim.Options{DropDetected: true})
+		fres, err := sim.Run(sub, reversed, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}

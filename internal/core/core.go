@@ -94,9 +94,11 @@ type Options struct {
 	// NoTrim keeps every selected triplet at full length instead of
 	// deleting the trailing patterns that add no coverage.
 	NoTrim bool
-	// Workers parallelizes Detection Matrix construction (default 1). The
-	// result is identical for any worker count.
-	Workers int
+	// Parallelism bounds the worker pool building the Detection Matrix.
+	// 1 forces the serial path; 0 (and any negative value) means one worker
+	// per available processor. The solution is bit-identical for any value
+	// (see internal/dmatrix and internal/fsim for the guarantee).
+	Parallelism int
 	// Exact tunes the branch-and-bound solver.
 	Exact setcover.ExactOptions
 }
@@ -208,7 +210,7 @@ func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
 		Cycles:               opts.Cycles,
 		Seed:                 opts.Seed,
 		RecordFirstDetection: true,
-		Workers:              opts.Workers,
+		Parallelism:          opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

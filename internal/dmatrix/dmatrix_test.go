@@ -221,12 +221,12 @@ func TestParallelBuildIdentical(t *testing.T) {
 	c, faults, patterns := setup(t)
 	gen, _ := tpg.NewAdder(len(c.Inputs))
 	serial, err := Build(c, faults, patterns, gen,
-		Options{Cycles: 16, Seed: 7, RecordFirstDetection: true})
+		Options{Cycles: 16, Seed: 7, RecordFirstDetection: true, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	parallel, err := Build(c, faults, patterns, gen,
-		Options{Cycles: 16, Seed: 7, RecordFirstDetection: true, Workers: 8})
+		Options{Cycles: 16, Seed: 7, RecordFirstDetection: true, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

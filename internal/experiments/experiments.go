@@ -45,8 +45,13 @@ type Config struct {
 	Gatsby gatsby.Config
 	// ATPG tunes the shared test generation step.
 	ATPG atpg.Options
-	// Workers parallelizes matrix construction per solve (default 1).
-	Workers int
+	// Parallelism bounds the worker pool used per solve for Detection
+	// Matrix construction, the ATPG's fault-simulation phases, and the
+	// GATSBY baseline's fitness grading. 1 forces serial; 0 means one
+	// worker per available processor. A zero Parallelism inside ATPG or
+	// Gatsby inherits this value; set those sub-options to a nonzero
+	// degree to control a stage independently.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +117,9 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 	if atpgOpts.Seed == 0 {
 		atpgOpts.Seed = cfg.Seed + 1
 	}
+	if atpgOpts.Parallelism == 0 {
+		atpgOpts.Parallelism = cfg.Parallelism
+	}
 	flow, err := core.Prepare(scan, atpgOpts)
 	if err != nil {
 		return nil, err
@@ -128,7 +136,7 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := flow.Solve(gen, core.Options{Cycles: cfg.Cycles, Seed: cfg.Seed + 2, Workers: cfg.Workers})
+		sol, err := flow.Solve(gen, core.Options{Cycles: cfg.Cycles, Seed: cfg.Seed + 2, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -136,6 +144,9 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 		if cfg.WithGatsby {
 			gcfg := cfg.Gatsby
 			gcfg.Seed = cfg.Seed + 3
+			if gcfg.Parallelism == 0 {
+				gcfg.Parallelism = cfg.Parallelism
+			}
 			if gcfg.Cycles == 0 {
 				// Match the covering flow's evolution length so the
 				// #Triplets comparison is apples to apples (Figure 2 shows
@@ -182,6 +193,9 @@ func Tradeoff(circuit, kind string, cyclesList []int, cfg Config) ([]Figure2Poin
 	atpgOpts := cfg.ATPG
 	if atpgOpts.Seed == 0 {
 		atpgOpts.Seed = cfg.Seed + 1
+	}
+	if atpgOpts.Parallelism == 0 {
+		atpgOpts.Parallelism = cfg.Parallelism
 	}
 	flow, err := core.Prepare(scan, atpgOpts)
 	if err != nil {

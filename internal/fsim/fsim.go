@@ -10,6 +10,25 @@
 // This simulator plays the role of the TestGen fault simulator in the paper:
 // it grades the ATPG test set and fills the Detection Matrix (which triplet
 // detects which fault, and at which pattern index).
+//
+// # Parallelism and determinism
+//
+// Run additionally fans the live fault list of each block out across
+// Options.Parallelism worker goroutines. The good-machine block simulation
+// is shared state, computed exactly once per 64-pattern block; each worker
+// owns a private faulty machine (event queues, epoch tags, and scratch value
+// arrays), so workers never write shared state while simulating. Workers
+// record one detection mask per fault into that fault's own slot, and the
+// masks are folded into the Result serially, in fault-list order — the same
+// order the serial loop uses.
+//
+// Determinism guarantee: for any Parallelism value (including 1, the serial
+// path), Run returns a bit-identical Result — Detected, FirstPattern,
+// NumDetected, PatternsApplied and GateEvals all match exactly. Per-fault
+// propagation work is identical in both paths, scheduling only changes which
+// goroutine performs it, and GateEvals is a sum of per-worker counters,
+// which is order-independent. The fsim and dmatrix test suites assert this
+// equivalence on the benchmark circuits.
 package fsim
 
 import (
@@ -20,6 +39,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 )
 
 // Options controls a fault simulation run.
@@ -31,6 +51,12 @@ type Options struct {
 	DropDetected bool
 	// StopWhenAllDetected ends the run early once every fault is detected.
 	StopWhenAllDetected bool
+	// Parallelism is the number of worker goroutines the live fault list of
+	// each pattern block is fanned out across. 1 forces the serial path;
+	// 0 (and any negative value) means one worker per available processor.
+	// The Result is bit-identical for every value — see the package
+	// documentation for the determinism guarantee.
+	Parallelism int
 }
 
 // Result reports the outcome of a fault simulation run.
@@ -59,16 +85,22 @@ func (r *Result) Coverage() float64 {
 	return float64(r.NumDetected) / float64(len(r.Detected))
 }
 
-// Simulator holds the per-circuit state for fault simulation. It is not
-// safe for concurrent use.
-type Simulator struct {
-	c      *netlist.Circuit
-	good   *logicsim.Simulator
-	isOut  []bool // gate ID -> is primary output
-	outIDs []int
+// minFaultsPerWorker is the smallest per-worker share of the live fault
+// list worth a goroutine handoff; below it the block degrades toward the
+// serial path. Purely a scheduling threshold — it cannot affect results.
+const minFaultsPerWorker = 16
 
-	// Event-driven faulty-machine state, epoch-tagged so that resetting
-	// between faults is O(1).
+// faultChunk is the number of live faults a worker claims per atomic
+// operation on the shared cursor.
+const faultChunk = 32
+
+// machine is one worker's private faulty-machine state: the event-driven
+// scratch needed to propagate a single fault against the shared good-machine
+// values. Epoch tags make the reset between faults O(1).
+type machine struct {
+	c     *netlist.Circuit
+	isOut []bool
+
 	fval       []uint64
 	fepoch     []int32
 	sched      []int32
@@ -80,6 +112,32 @@ type Simulator struct {
 	faninBuf []uint64
 }
 
+func newMachine(c *netlist.Circuit, isOut []bool) *machine {
+	return &machine{
+		c:       c,
+		isOut:   isOut,
+		fval:    make([]uint64, c.NumGates()),
+		fepoch:  make([]int32, c.NumGates()),
+		sched:   make([]int32, c.NumGates()),
+		buckets: make([][]int, c.MaxLevel()+1),
+	}
+}
+
+// Simulator holds the per-circuit state for fault simulation: the shared
+// good machine plus one private faulty machine per worker. A Simulator is
+// not safe for concurrent use by multiple goroutines — Run manages its own
+// internal worker pool instead; create one Simulator per concurrent caller.
+type Simulator struct {
+	c      *netlist.Circuit
+	good   *logicsim.Simulator
+	isOut  []bool // gate ID -> is primary output
+	outIDs []int
+
+	machines []*machine // machines[0] serves the serial path; grown on demand
+	maskBuf  []uint64   // per-live-fault detection masks for one block
+	evalsBuf []int64    // per-worker gate-evaluation counters
+}
+
 // New returns a fault simulator for the finalized combinational circuit.
 func New(c *netlist.Circuit) (*Simulator, error) {
 	good, err := logicsim.New(c)
@@ -87,24 +145,30 @@ func New(c *netlist.Circuit) (*Simulator, error) {
 		return nil, fmt.Errorf("fsim: %w", err)
 	}
 	s := &Simulator{
-		c:       c,
-		good:    good,
-		isOut:   make([]bool, c.NumGates()),
-		fval:    make([]uint64, c.NumGates()),
-		fepoch:  make([]int32, c.NumGates()),
-		sched:   make([]int32, c.NumGates()),
-		buckets: make([][]int, c.MaxLevel()+1),
+		c:     c,
+		good:  good,
+		isOut: make([]bool, c.NumGates()),
 	}
 	for _, id := range c.Outputs {
 		s.isOut[id] = true
 		s.outIDs = append(s.outIDs, id)
 	}
+	s.machines = []*machine{newMachine(c, s.isOut)}
 	return s, nil
 }
 
+// ensureMachines grows the private faulty-machine pool to n entries.
+func (s *Simulator) ensureMachines(n int) {
+	for len(s.machines) < n {
+		s.machines = append(s.machines, newMachine(s.c, s.isOut))
+	}
+}
+
 // Run simulates the fault list against the pattern sequence and returns the
-// detection record.
+// detection record. The Result is bit-identical for every Options.Parallelism
+// value; see the package documentation.
 func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Options) (*Result, error) {
+	workers := parallel.Degree(opts.Parallelism)
 	res := &Result{
 		Detected:     make([]bool, len(faults)),
 		FirstPattern: make([]int, len(faults)),
@@ -137,23 +201,59 @@ func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Opt
 		res.PatternsApplied += len(block)
 		goodVals := s.good.Values()
 
-		n := 0
-		for _, fi := range live {
-			detMask := s.simulateFault(faults[fi], goodVals, blockMask, &res.GateEvals)
-			if detMask != 0 {
-				if !res.Detected[fi] {
-					res.Detected[fi] = true
-					res.NumDetected++
-					res.FirstPattern[fi] = base + bits.TrailingZeros64(detMask)
-				}
-				if opts.DropDetected {
-					continue // dropped: not retained in live list
+		// Degrade toward serial when the surviving live list is too short
+		// to amortize goroutine handoffs (common once fault dropping has
+		// thinned the list). Scheduling only; results are unaffected.
+		blockWorkers := workers
+		if lim := len(live) / minFaultsPerWorker; blockWorkers > lim {
+			blockWorkers = lim
+		}
+		if blockWorkers < 1 {
+			blockWorkers = 1
+		}
+
+		if blockWorkers == 1 {
+			m := s.machines[0]
+			n := 0
+			for _, fi := range live {
+				detMask := m.simulateFault(faults[fi], goodVals, blockMask, &res.GateEvals)
+				if keep := res.fold(fi, detMask, base, opts); keep {
+					live[n] = fi
+					n++
 				}
 			}
-			live[n] = fi
-			n++
+			live = live[:n]
+		} else {
+			s.ensureMachines(blockWorkers)
+			masks := s.masks(len(live))
+			evals := s.evals(blockWorkers)
+			parallel.ForEachChunk(blockWorkers, len(live), faultChunk,
+				func(worker, lo, hi int) {
+					// Accumulate into a local counter and publish once per
+					// chunk: per-gate increments on adjacent evals slots
+					// would false-share one cache line across workers.
+					m := s.machines[worker]
+					var chunkEvals int64
+					for k := lo; k < hi; k++ {
+						masks[k] = m.simulateFault(faults[live[k]], goodVals, blockMask, &chunkEvals)
+					}
+					evals[worker] += chunkEvals
+				})
+			for _, e := range evals {
+				res.GateEvals += e
+			}
+			// Fold the per-fault masks serially, in fault-list order — the
+			// exact order the serial path uses.
+			n := 0
+			for k, fi := range live {
+				if keep := res.fold(fi, masks[k], base, opts); keep {
+					live[n] = fi
+					n++
+				}
+			}
+			live = live[:n]
 		}
-		live = live[:n]
+
 		if opts.StopWhenAllDetected && res.NumDetected == len(faults) {
 			break
 		}
@@ -164,10 +264,46 @@ func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Opt
 	return res, nil
 }
 
-// simulateFault injects one fault against the current good values and
-// returns the mask of pattern bits in which any primary output diverges.
-func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64, evals *int64) uint64 {
-	site := s.c.Gates[f.Gate]
+// fold merges one fault's block detection mask into the result and reports
+// whether the fault stays on the live list.
+func (r *Result) fold(fi int, detMask uint64, base int, opts Options) bool {
+	if detMask == 0 {
+		return true
+	}
+	if !r.Detected[fi] {
+		r.Detected[fi] = true
+		r.NumDetected++
+		r.FirstPattern[fi] = base + bits.TrailingZeros64(detMask)
+	}
+	return !opts.DropDetected
+}
+
+// masks returns the per-live-fault detection mask buffer, resized to n.
+func (s *Simulator) masks(n int) []uint64 {
+	if cap(s.maskBuf) < n {
+		s.maskBuf = make([]uint64, n)
+	}
+	return s.maskBuf[:n]
+}
+
+// evals returns the per-worker gate-evaluation counters, zeroed.
+func (s *Simulator) evals(n int) []int64 {
+	if cap(s.evalsBuf) < n {
+		s.evalsBuf = make([]int64, n)
+	}
+	e := s.evalsBuf[:n]
+	for i := range e {
+		e[i] = 0
+	}
+	return e
+}
+
+// simulateFault injects one fault against the shared good values and returns
+// the mask of pattern bits in which any primary output diverges. It touches
+// only this machine's private state, so distinct machines may run
+// concurrently against the same good values.
+func (m *machine) simulateFault(f fault.Fault, good []uint64, blockMask uint64, evals *int64) uint64 {
+	site := m.c.Gates[f.Gate]
 	var faultyWord uint64
 	if f.StuckAt1 {
 		faultyWord = ^uint64(0)
@@ -177,7 +313,7 @@ func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64
 	if f.Pin != fault.OutputPin {
 		// Input-pin fault: recompute the gate with the pin forced. The
 		// fault effect first appears at this gate's output.
-		in := s.faninBuf[:0]
+		in := m.faninBuf[:0]
 		for pin, fi := range site.Fanin {
 			v := good[fi]
 			if pin == f.Pin {
@@ -185,7 +321,7 @@ func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64
 			}
 			in = append(in, v)
 		}
-		s.faninBuf = in
+		m.faninBuf = in
 		faultyWord = netlist.Eval(site.Type, in)
 		*evals++
 	}
@@ -195,19 +331,19 @@ func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64
 		return 0 // fault not activated by any pattern in this block
 	}
 
-	s.epoch++
-	if s.epoch == 0 { // int32 wrap: clear tags and restart
-		for i := range s.fepoch {
-			s.fepoch[i] = -1
-			s.sched[i] = -1
+	m.epoch++
+	if m.epoch == 0 { // int32 wrap: clear tags and restart
+		for i := range m.fepoch {
+			m.fepoch[i] = -1
+			m.sched[i] = -1
 		}
-		s.epoch = 1
+		m.epoch = 1
 	}
-	s.fval[siteGate] = faultyWord & blockMask
-	s.fepoch[siteGate] = s.epoch
+	m.fval[siteGate] = faultyWord & blockMask
+	m.fepoch[siteGate] = m.epoch
 
 	var detected uint64
-	if s.isOut[siteGate] {
+	if m.isOut[siteGate] {
 		detected |= diff
 	}
 
@@ -216,61 +352,61 @@ func (s *Simulator) simulateFault(f fault.Fault, good []uint64, blockMask uint64
 	// ascending order guarantees all of a gate's faulty fanin values are
 	// settled before the gate is evaluated; a gate is evaluated at most once
 	// per fault.
-	s.minLevel = len(s.buckets)
-	s.maxTouched = -1
-	s.scheduleFanouts(siteGate)
-	for lvl := s.minLevel; lvl <= s.maxTouched; lvl++ {
-		queue := s.buckets[lvl]
+	m.minLevel = len(m.buckets)
+	m.maxTouched = -1
+	m.scheduleFanouts(siteGate)
+	for lvl := m.minLevel; lvl <= m.maxTouched; lvl++ {
+		queue := m.buckets[lvl]
 		if len(queue) == 0 {
 			continue
 		}
 		for qi := 0; qi < len(queue); qi++ {
 			id := queue[qi]
-			g := s.c.Gates[id]
-			in := s.faninBuf[:0]
+			g := m.c.Gates[id]
+			in := m.faninBuf[:0]
 			for _, fi := range g.Fanin {
-				if s.fepoch[fi] == s.epoch {
-					in = append(in, s.fval[fi])
+				if m.fepoch[fi] == m.epoch {
+					in = append(in, m.fval[fi])
 				} else {
 					in = append(in, good[fi])
 				}
 			}
-			s.faninBuf = in
+			m.faninBuf = in
 			nv := netlist.Eval(g.Type, in) & blockMask
 			*evals++
 			if nv == good[id]&blockMask {
 				continue
 			}
-			s.fval[id] = nv
-			s.fepoch[id] = s.epoch
-			if s.isOut[id] {
+			m.fval[id] = nv
+			m.fepoch[id] = m.epoch
+			if m.isOut[id] {
 				detected |= nv ^ (good[id] & blockMask)
 			}
-			s.scheduleFanouts(id)
+			m.scheduleFanouts(id)
 		}
-		s.buckets[lvl] = queue[:0]
+		m.buckets[lvl] = queue[:0]
 	}
 	return detected
 }
 
 // scheduleFanouts enqueues the combinational fanouts of gate id into their
 // level buckets, once per fault.
-func (s *Simulator) scheduleFanouts(id int) {
-	for _, fo := range s.c.Gates[id].Fanout {
-		g := s.c.Gates[fo]
+func (m *machine) scheduleFanouts(id int) {
+	for _, fo := range m.c.Gates[id].Fanout {
+		g := m.c.Gates[fo]
 		if g.Type == netlist.DFF {
 			continue
 		}
-		if s.sched[fo] == s.epoch {
+		if m.sched[fo] == m.epoch {
 			continue
 		}
-		s.sched[fo] = s.epoch
-		s.buckets[g.Level] = append(s.buckets[g.Level], fo)
-		if g.Level < s.minLevel {
-			s.minLevel = g.Level
+		m.sched[fo] = m.epoch
+		m.buckets[g.Level] = append(m.buckets[g.Level], fo)
+		if g.Level < m.minLevel {
+			m.minLevel = g.Level
 		}
-		if g.Level > s.maxTouched {
-			s.maxTouched = g.Level
+		if g.Level > m.maxTouched {
+			m.maxTouched = g.Level
 		}
 	}
 }

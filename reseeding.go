@@ -22,6 +22,17 @@
 // Prepare runs the built-in ATPG once per circuit; Solve builds the
 // Detection Matrix for one generator, reduces it by essentiality and
 // dominance, and solves the residual covering problem exactly.
+//
+// # Parallelism
+//
+// The hot path of Solve — grading every candidate (δ, θ, T) triplet against
+// the fault list — runs on a bounded worker pool. ATPGOptions.Parallelism
+// controls the fault-simulation fan-out inside Prepare, and
+// Options.Parallelism controls the Detection Matrix build inside Solve; in
+// both, 1 forces the serial path and 0 (the zero value) uses one worker per
+// available processor. Parallel runs are guaranteed bit-identical to serial
+// runs — see internal/fsim and internal/dmatrix for the determinism
+// contract and the tests that enforce it.
 package reseeding
 
 import (
