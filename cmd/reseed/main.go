@@ -6,10 +6,15 @@
 //	reseed -circuit s1238 -tpg adder -cycles 64
 //	reseed -file mydesign.bench -tpg multiplier -cycles 128 -v
 //	reseed -circuit s1238 -j 4        # bound the worker pool to 4 goroutines
+//	reseed -circuit s1238 -solve-budget 2s   # anytime covering solve
 //
-// Fault simulation and Detection Matrix construction run on a worker pool
-// sized by -j (default: one worker per processor). The computed solution is
-// bit-identical for every -j value.
+// Fault simulation, Detection Matrix construction and the exact covering
+// solve run on a worker pool sized by -j (default: one worker per
+// processor). The computed solution is bit-identical for every -j value as
+// long as the solve completes. -solve-budget caps the wall-clock time of
+// the exact covering solve: a truncated solve keeps the best cover found
+// so far and reports optimal=false (the anytime contract) — that
+// best-so-far is timing dependent and not covered by the -j guarantee.
 package main
 
 import (
@@ -38,7 +43,9 @@ func main() {
 		jsonOut = flag.String("json", "", "also write the solution as JSON to this file")
 		verbose = flag.Bool("v", false, "print every selected triplet")
 		jobs    = flag.Int("j", 0,
-			"worker goroutines for fault simulation and matrix construction (0 = all processors)")
+			"worker goroutines for fault simulation, matrix construction and the covering solve (0 = all processors)")
+		solveBudget = flag.Duration("solve-budget", 0,
+			"wall-clock budget for the exact covering solve; truncated solves return the best cover found (0 = none)")
 	)
 	flag.Parse()
 
@@ -82,14 +89,16 @@ func main() {
 		fail(fmt.Errorf("unknown objective %q", *objectv))
 	}
 
-	sol, err := flow.Solve(gen, core.Options{
+	coreOpts := core.Options{
 		Cycles:      *cycles,
 		Seed:        *seed + 1,
 		Solver:      solverKind,
 		Objective:   objective,
 		NoTrim:      *noTrim,
 		Parallelism: *jobs,
-	})
+	}
+	coreOpts.Exact.TimeBudget = *solveBudget
+	sol, err := flow.Solve(gen, coreOpts)
 	if err != nil {
 		fail(err)
 	}

@@ -9,6 +9,7 @@
 //	tables -table 1        # just Table 1
 //	tables -figure 2       # just Figure 2
 //	tables -circuits s420,s1238 -cycles 128
+//	tables -all -solve-budget 5s   # anytime: cap each exact covering solve
 package main
 
 import (
@@ -33,7 +34,8 @@ func main() {
 		cycles   = flag.Int("cycles", 64, "candidate evolution length T")
 		seed     = flag.Int64("seed", 1, "random seed")
 		noGatsby = flag.Bool("nogatsby", false, "skip the GA baseline columns")
-		jobs     = flag.Int("j", 0, "worker goroutines for fault simulation and matrix construction (0 = all processors)")
+		jobs     = flag.Int("j", 0, "worker goroutines for fault simulation, matrix construction and the covering solve (0 = all processors)")
+		budget   = flag.Duration("solve-budget", 0, "wall-clock budget per exact covering solve; truncated solves keep the best cover found (0 = none)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 		Seed:        *seed,
 		WithGatsby:  !*noGatsby,
 		Parallelism: *jobs,
+		SolveBudget: *budget,
 	}
 	switch {
 	case *circuits != "":

@@ -203,6 +203,19 @@ func (s *Set) First() int {
 	return -1
 }
 
+// FirstNotIn returns the smallest element of s \ o, or -1 if the difference
+// is empty. It is First for a set difference, without materializing it —
+// the covering engine's "find the forced row" primitive.
+func (s *Set) FirstNotIn(o *Set) int {
+	s.checkSame("FirstNotIn", o)
+	for wi, w := range s.words {
+		if d := w &^ o.words[wi]; d != 0 {
+			return wi*wordBits + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
 // Hash returns a 64-bit FNV-1a style hash of the set contents, used to group
 // identical rows or columns before dominance checks.
 func (s *Set) Hash() uint64 {

@@ -136,6 +136,29 @@ func TestSetForEachOrder(t *testing.T) {
 	}
 }
 
+func TestSetFirstNotIn(t *testing.T) {
+	s, o := NewSet(300), NewSet(300)
+	for _, i := range []int{3, 64, 65, 256} {
+		s.Add(i)
+	}
+	if got := s.FirstNotIn(o); got != 3 {
+		t.Errorf("FirstNotIn(empty) = %d, want 3", got)
+	}
+	o.Add(3)
+	o.Add(64)
+	if got := s.FirstNotIn(o); got != 65 {
+		t.Errorf("FirstNotIn = %d, want 65", got)
+	}
+	o.Add(65)
+	o.Add(256)
+	if got := s.FirstNotIn(o); got != -1 {
+		t.Errorf("FirstNotIn of covered set = %d, want -1", got)
+	}
+	if got := NewSet(300).FirstNotIn(o); got != -1 {
+		t.Errorf("FirstNotIn of empty set = %d, want -1", got)
+	}
+}
+
 func TestSetEqualAndHash(t *testing.T) {
 	a, b := NewSet(128), NewSet(128)
 	for _, i := range []int{1, 2, 99} {

@@ -94,18 +94,29 @@ type Options struct {
 	// NoTrim keeps every selected triplet at full length instead of
 	// deleting the trailing patterns that add no coverage.
 	NoTrim bool
-	// Parallelism bounds the worker pool building the Detection Matrix.
-	// 1 forces the serial path; 0 (and any negative value) means one worker
-	// per available processor. The solution is bit-identical for any value
-	// (see internal/dmatrix and internal/fsim for the guarantee).
+	// Parallelism bounds the worker pools building the Detection Matrix and
+	// exploring the covering solver's branch-and-bound tree. 1 forces the
+	// serial path; 0 (and any negative value) means one worker per
+	// available processor. Solutions whose exact solve completes within its
+	// budgets are bit-identical for any value (see internal/dmatrix,
+	// internal/fsim and internal/setcover for the guarantee; only the
+	// SolverNodes effort counter is timing dependent). A budget-truncated
+	// solve (Optimal = false) returns a timing-dependent best-so-far.
 	Parallelism int
-	// Exact tunes the branch-and-bound solver.
+	// Exact tunes the branch-and-bound covering solver: node budget,
+	// wall-clock budget and cancellation context (the anytime contract:
+	// truncated solves yield the best cover found with Optimal = false),
+	// and its own Parallelism. A zero Exact.Parallelism inherits the
+	// Parallelism field above.
 	Exact setcover.ExactOptions
 }
 
 func (o Options) withDefaults() Options {
 	if o.Cycles == 0 {
 		o.Cycles = 32
+	}
+	if o.Exact.Parallelism == 0 {
+		o.Exact.Parallelism = o.Parallelism
 	}
 	return o
 }

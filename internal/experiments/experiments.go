@@ -19,11 +19,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gatsby"
+	"repro/internal/setcover"
 	"repro/internal/tpg"
 )
 
@@ -46,12 +48,17 @@ type Config struct {
 	// ATPG tunes the shared test generation step.
 	ATPG atpg.Options
 	// Parallelism bounds the worker pool used per solve for Detection
-	// Matrix construction, the ATPG's fault-simulation phases, and the
-	// GATSBY baseline's fitness grading. 1 forces serial; 0 means one
-	// worker per available processor. A zero Parallelism inside ATPG or
-	// Gatsby inherits this value; set those sub-options to a nonzero
-	// degree to control a stage independently.
+	// Matrix construction, the ATPG's fault-simulation phases, the exact
+	// covering solver's branch-and-bound fan-out, and the GATSBY baseline's
+	// fitness grading. 1 forces serial; 0 means one worker per available
+	// processor. A zero Parallelism inside ATPG or Gatsby inherits this
+	// value; set those sub-options to a nonzero degree to control a stage
+	// independently.
 	Parallelism int
+	// SolveBudget, when positive, bounds the wall-clock time of each exact
+	// covering solve (the anytime contract): a truncated solve keeps the
+	// best cover found so far and reports Optimal = false in Table 2.
+	SolveBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,7 +143,12 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := flow.Solve(gen, core.Options{Cycles: cfg.Cycles, Seed: cfg.Seed + 2, Parallelism: cfg.Parallelism})
+		sol, err := flow.Solve(gen, core.Options{
+			Cycles:      cfg.Cycles,
+			Seed:        cfg.Seed + 2,
+			Parallelism: cfg.Parallelism,
+			Exact:       setcover.ExactOptions{TimeBudget: cfg.SolveBudget},
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +217,11 @@ func Tradeoff(circuit, kind string, cyclesList []int, cfg Config) ([]Figure2Poin
 	if err != nil {
 		return nil, err
 	}
-	points, err := flow.Tradeoff(gen, cyclesList, core.Options{Seed: cfg.Seed + 2})
+	points, err := flow.Tradeoff(gen, cyclesList, core.Options{
+		Seed:        cfg.Seed + 2,
+		Parallelism: cfg.Parallelism,
+		Exact:       setcover.ExactOptions{TimeBudget: cfg.SolveBudget},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,496 @@
+package setcover
+
+// The unified branch-and-bound engine behind SolveExact and
+// SolveExactWeighted. Cardinality covering is the weights == nil
+// instantiation (every row costs 1); minimum-weight covering passes the
+// per-row weight slice. One core means every bound, every pruning rule and
+// every bugfix applies to both solvers at once.
+//
+// # Search shape
+//
+// Each node picks the uncovered column with the fewest still-available rows
+// and branches on those rows, cheapest-per-newly-covered-column first.
+// Branch i commits row r_i and bans rows r_0..r_{i-1} from its entire
+// subtree: every cover contains some row of the column, so the bans
+// partition the solution space and no cover is enumerated twice (the
+// duplicate-sibling-subtree fix). Before branching, a node re-reduces its
+// residual: a column with no available row kills the branch, a column with
+// exactly one forces that row without spending a branch node — the
+// classical essentiality rule re-applied under the current bans.
+//
+// # Parallelism and determinism
+//
+// The top-level branches fan out across the internal/parallel pool. All
+// workers prune against a shared atomic incumbent cost, and complete covers
+// merge into the incumbent rows under a mutex. Solution.Rows is
+// nevertheless bit-identical for every Parallelism value, because of how
+// the two bounds are combined:
+//
+//   - against the task-local bound (greedy seed cost, lowered only by the
+//     task's own finds) a node prunes when cost+lb >= bound — the classical
+//     rule, so each task reports the first optimum of its subtree in DFS
+//     order, a value independent of the other workers;
+//   - against the shared bound a node prunes only when cost+lb is STRICTLY
+//     greater. The shared bound never drops below the global optimum C*, so
+//     strict pruning can never cut a subtree containing a cost-C* cover: the
+//     foreign bound accelerates the search without changing any task's
+//     reported result.
+//
+// The merge prefers lower cost, then the lower top-level branch index, so
+// the surviving incumbent is the first-discovered optimum of the lowest
+// optimal branch — no matter how worker completion interleaves. Only
+// Solution.Nodes (an effort counter) depends on timing when Parallelism > 1,
+// exactly as wall-clock time does.
+//
+// The guarantee covers solves that COMPLETE. A truncated solve (node
+// budget, time budget or cancellation) returns whatever best-so-far the
+// workers had recorded when the stop flag won the race, which is as
+// timing-dependent as the budget itself; it is flagged Optimal = false.
+//
+// # Anytime contract
+//
+// A node budget (MaxNodes, shared across workers), a wall-clock budget
+// (TimeBudget) and a cancellation Context all raise one stop flag; workers
+// drain quickly and the best cover found so far — at worst the greedy seed,
+// always a valid cover — is returned with Optimal = false and a nil error.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/parallel"
+)
+
+// ExactOptions tunes the branch-and-bound engine shared by SolveExact,
+// SolveExactWeighted and the SolveMinimal pipelines.
+type ExactOptions struct {
+	// MaxNodes bounds the search; 0 means 50 million nodes. The budget is
+	// shared by all workers. If it is exhausted the best cover found so far
+	// is returned with Optimal = false.
+	MaxNodes int64
+	// Parallelism bounds the worker pool exploring the top-level branches.
+	// 1 forces the serial path; 0 (and any negative value) means one worker
+	// per available processor. For solves that complete within their
+	// budgets, Solution.Rows is bit-identical for every value
+	// (Solution.Nodes is not; see its doc). Truncated solves return a
+	// timing-dependent best-so-far, flagged Optimal = false.
+	Parallelism int
+	// TimeBudget, when positive, makes the solve anytime: the search stops
+	// after roughly this much wall-clock time and the best cover found so
+	// far is returned with Optimal = false.
+	TimeBudget time.Duration
+	// Context, when non-nil, is the other anytime trigger: cancellation
+	// stops the search, returning the best cover found so far with
+	// Optimal = false and a nil error.
+	Context context.Context
+
+	// noSiblingExclusion disables the duplicate-sibling-subtree fix so its
+	// node-count reduction is assertable. Test hook only.
+	noSiblingExclusion bool
+}
+
+const defaultMaxNodes = 50_000_000
+
+// unsetBranch orders the greedy seed after every real branch index, so a
+// solver find at equal cost from any branch would win the merge — which
+// cannot happen, since tasks record strict improvements only.
+const unsetBranch = int(^uint(0) >> 1)
+
+type engine struct {
+	p       *Problem
+	weights []int   // nil ⇒ every row costs 1
+	colRows [][]int // static column view: colRows[j] = rows covering j
+	colSets []*bitvec.Set
+	exclude bool // sibling-row exclusion enabled
+
+	maxNodes int64
+	deadline time.Time
+	timed    bool
+	ctx      context.Context
+
+	nodes     atomic.Int64 // shared node budget and effort counter
+	stop      atomic.Bool  // raised by budget, deadline or context
+	truncated atomic.Bool  // some subtree was cut off: optimality unproven
+
+	// sharedCost is the global incumbent cost every worker prunes against.
+	// It only decreases; a stale read merely delays a prune.
+	sharedCost atomic.Int64
+
+	mu         sync.Mutex
+	bestRows   []int
+	bestCost   int
+	bestBranch int
+}
+
+func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts ExactOptions) *engine {
+	e := &engine{
+		p:          p,
+		weights:    weights,
+		colRows:    make([][]int, p.numCols),
+		exclude:    !opts.noSiblingExclusion,
+		maxNodes:   opts.MaxNodes,
+		ctx:        opts.Context,
+		bestRows:   append([]int(nil), seed.Rows...),
+		bestCost:   seedCost,
+		bestBranch: unsetBranch,
+	}
+	if e.maxNodes == 0 {
+		e.maxNodes = defaultMaxNodes
+	}
+	if opts.TimeBudget > 0 {
+		e.deadline = time.Now().Add(opts.TimeBudget)
+		e.timed = true
+	}
+	for i, r := range p.rows {
+		r.ForEach(func(j int) { e.colRows[j] = append(e.colRows[j], i) })
+	}
+	e.colSets = make([]*bitvec.Set, p.numCols)
+	for j, rows := range e.colRows {
+		s := bitvec.NewSet(p.NumRows())
+		for _, r := range rows {
+			s.Add(r)
+		}
+		e.colSets[j] = s
+	}
+	e.sharedCost.Store(int64(seedCost))
+	return e
+}
+
+func (e *engine) rowCost(r int) int {
+	if e.weights == nil {
+		return 1
+	}
+	return e.weights[r]
+}
+
+// expired reports whether the wall-clock budget or the context has run out.
+func (e *engine) expired() bool {
+	if e.timed && !time.Now().Before(e.deadline) {
+		return true
+	}
+	if e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// halt raises the stop flag; every worker drains at its next node.
+func (e *engine) halt() {
+	e.truncated.Store(true)
+	e.stop.Store(true)
+}
+
+// record merges a complete cover into the shared incumbent. branch is the
+// top-level branch that found it (rootBranch for covers the root itself
+// resolves); cost ties resolve toward the lower branch, which makes the
+// final incumbent independent of worker timing.
+func (e *engine) record(cost int, rows []int, branch int) {
+	e.mu.Lock()
+	if cost < e.bestCost || (cost == e.bestCost && branch < e.bestBranch) {
+		e.bestCost = cost
+		e.bestBranch = branch
+		e.bestRows = append(e.bestRows[:0], rows...)
+	}
+	e.mu.Unlock()
+	for {
+		cur := e.sharedCost.Load()
+		if int64(cost) >= cur || e.sharedCost.CompareAndSwap(cur, int64(cost)) {
+			return
+		}
+	}
+}
+
+// colAvail is one uncovered column of a node's stable residual with its
+// available-row count, computed once by the final propagation scan and
+// reused by the lower bound.
+type colAvail struct{ col, avail int }
+
+// scanColumns inspects every uncovered column under the current bans. It
+// reports infeasible when some column has no available row left (a forced
+// row cannot fix that: it would itself be an available row of the column);
+// otherwise every single-available-row column, in ascending order, whose
+// one row is in every cover of this subproblem; otherwise — on a clean
+// scan — the branch column with the fewest available rows (ties toward the
+// lower column index) with the per-column counts appended to *infos for
+// the caller's lower bound. Availability is one word-level intersection
+// per column, not a per-row probe.
+func (e *engine) scanColumns(uncovered, banned *bitvec.Set, infos *[]colAvail) (infeasible bool, forcedCols []int, branchCol int) {
+	branchCol = -1
+	bestAvail := int(^uint(0) >> 1)
+	*infos = (*infos)[:0]
+	uncovered.ForEach(func(j int) {
+		if infeasible {
+			return
+		}
+		avail := len(e.colRows[j]) - e.colSets[j].IntersectionLen(banned)
+		switch {
+		case avail == 0:
+			infeasible = true
+		case avail == 1:
+			forcedCols = append(forcedCols, j)
+		default:
+			*infos = append(*infos, colAvail{j, avail})
+			if avail < bestAvail {
+				bestAvail, branchCol = avail, j
+			}
+		}
+	})
+	return infeasible, forcedCols, branchCol
+}
+
+// propagate applies per-node re-reduction: it takes forced rows until the
+// fixpoint, mutating chosen/cost/uncovered in place. It returns the new
+// path state, infeasible when a column became uncoverable, and the branch
+// column of the stable residual (-1 when uncovered emptied); infos then
+// holds the residual's per-column availability for the lower bound.
+//
+// Availability depends only on banned, which propagate never mutates, so
+// taking every collected forced column in one batch (skipping those a
+// just-taken row already covered) reaches the fixpoint: the follow-up scan
+// can force nothing new and only rebuilds infos/branchCol for the residual.
+func (e *engine) propagate(chosen []int, cost int, uncovered, banned *bitvec.Set, infos *[]colAvail) (newChosen []int, newCost int, infeasible bool, branchCol int) {
+	for {
+		if uncovered.Empty() {
+			return chosen, cost, false, -1
+		}
+		bad, forcedCols, col := e.scanColumns(uncovered, banned, infos)
+		if bad {
+			return chosen, cost, true, -1
+		}
+		if forcedCols == nil {
+			return chosen, cost, false, col
+		}
+		for _, j := range forcedCols {
+			if !uncovered.Contains(j) {
+				continue
+			}
+			r := e.colSets[j].FirstNotIn(banned)
+			chosen = append(chosen, r)
+			cost += e.rowCost(r)
+			uncovered.AndNot(e.p.rows[r])
+		}
+	}
+}
+
+// lowerBound greedily accumulates pairwise row-disjoint uncovered columns;
+// each demands a distinct available row, so summing every picked column's
+// cheapest available row bounds the remaining cost from below (with unit
+// weights: the number of rows still required). Rare columns are visited
+// first to maximize the disjoint set.
+// lowerBound consumes the stable residual's availability counts computed by
+// the final propagation scan (no recount) and sorts a scratch copy rare
+// columns first. The cheapest available row of a picked column is computed
+// lazily — and is the constant 1 for unit weights.
+func (e *engine) lowerBound(infos []colAvail, banned *bitvec.Set) int {
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].avail != infos[b].avail {
+			return infos[a].avail < infos[b].avail
+		}
+		return infos[a].col < infos[b].col
+	})
+	// usedRows accumulates the available rows of picked columns, so it
+	// never contains a banned row and one Intersects call per column is an
+	// exact available-row disjointness test.
+	usedRows := bitvec.NewSet(e.p.NumRows())
+	lb := 0
+	for _, ci := range infos {
+		if usedRows.Intersects(e.colSets[ci.col]) {
+			continue
+		}
+		usedRows.Or(e.colSets[ci.col])
+		usedRows.AndNot(banned)
+		if e.weights == nil {
+			lb++
+			continue
+		}
+		min, first := 0, true
+		for _, r := range e.colRows[ci.col] {
+			if banned.Contains(r) {
+				continue
+			}
+			if w := e.weights[r]; first || w < min {
+				min, first = w, false
+			}
+		}
+		lb += min
+	}
+	return lb
+}
+
+// branchCandidates lists the available rows of the branch column ordered
+// cheapest-per-newly-covered-column first (for unit weights: decreasing
+// gain), ties toward the lower row index. Ratios compare by
+// cross-multiplication, so the order is exact and platform independent.
+func (e *engine) branchCandidates(col int, uncovered, banned *bitvec.Set) []int {
+	type cand struct{ row, gain int }
+	cands := make([]cand, 0, len(e.colRows[col]))
+	for _, r := range e.colRows[col] {
+		if !banned.Contains(r) {
+			cands = append(cands, cand{r, e.p.rows[r].IntersectionLen(uncovered)})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		l := e.rowCost(cands[a].row) * cands[b].gain
+		r := e.rowCost(cands[b].row) * cands[a].gain
+		if l != r {
+			return l < r
+		}
+		return cands[a].row < cands[b].row
+	})
+	rows := make([]int, len(cands))
+	for i, c := range cands {
+		rows[i] = c.row
+	}
+	return rows
+}
+
+// bbTask is one top-level branch explored serially by one worker.
+type bbTask struct {
+	e      *engine
+	branch int // merge tie-breaker
+	// localBound is the task-local incumbent cost: recording is strict
+	// improvement against it, which pins the task's reported witness to the
+	// first optimum in its own DFS order regardless of the other workers.
+	localBound int
+	// infos is the column-scan scratch, reused across the task's DFS: a
+	// node is done with it before its children run.
+	infos []colAvail
+}
+
+// search explores a subtree. chosen/cost describe the committed path,
+// uncovered the remaining columns (owned by this call), banned the rows
+// excluded by earlier sibling branches (owned by the caller, read-only
+// here; descendants receive a clone before it is extended).
+func (t *bbTask) search(chosen []int, cost int, uncovered, banned *bitvec.Set) {
+	e := t.e
+	if e.stop.Load() {
+		return
+	}
+	n := e.nodes.Add(1)
+	if n > e.maxNodes {
+		e.halt()
+		return
+	}
+	if n&127 == 0 && e.expired() {
+		e.halt()
+		return
+	}
+
+	chosen, cost, infeasible, branchCol := e.propagate(chosen, cost, uncovered, banned, &t.infos)
+	if infeasible {
+		return
+	}
+	if branchCol < 0 { // covered
+		if cost < t.localBound {
+			t.localBound = cost
+			e.record(cost, chosen, t.branch)
+		}
+		return
+	}
+	lb := e.lowerBound(t.infos, banned)
+	if cost+lb >= t.localBound || int64(cost+lb) > e.sharedCost.Load() {
+		return
+	}
+
+	rows := e.branchCandidates(branchCol, uncovered, banned)
+	branchBanned := banned
+	if e.exclude {
+		branchBanned = banned.Clone()
+	}
+	for _, r := range rows {
+		if e.stop.Load() {
+			return
+		}
+		next := uncovered.Clone()
+		next.AndNot(e.p.rows[r])
+		t.search(append(chosen, r), cost+e.rowCost(r), next, branchBanned)
+		if e.exclude {
+			branchBanned.Add(r)
+		}
+	}
+}
+
+// solveBB is the shared entry point of SolveExact (weights == nil) and
+// SolveExactWeighted. Callers have validated weights already.
+func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
+	if bad := p.UncoverableColumns(); bad != nil {
+		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
+	}
+	if p.numCols == 0 {
+		return Solution{Optimal: true}, nil
+	}
+	greedy, err := p.solveGreedyImpl(weights)
+	if err != nil {
+		return Solution{}, err
+	}
+	e := newEngine(p, weights, greedy, greedy.Cost, opts)
+
+	finish := func() Solution {
+		sol := Solution{
+			Rows:    append([]int(nil), e.bestRows...),
+			Cost:    e.bestCost,
+			Optimal: !e.truncated.Load(),
+			Nodes:   e.nodes.Load(),
+		}
+		sort.Ints(sol.Rows)
+		return sol
+	}
+
+	// Root node: the cheap anytime pre-check, then re-reduction and either
+	// an outright solution, a bound proof of the greedy seed, or the
+	// top-level fan-out.
+	e.nodes.Store(1)
+	if e.expired() {
+		e.halt()
+		return finish(), nil
+	}
+	uncovered := bitvec.NewSet(p.numCols)
+	uncovered.Fill()
+	banned := bitvec.NewSet(p.NumRows())
+	var rootInfos []colAvail
+	rootChosen, rootCost, infeasible, branchCol := e.propagate(nil, 0, uncovered, banned, &rootInfos)
+	if infeasible {
+		// Cannot happen: every column is coverable and the root bans nothing.
+		return finish(), nil
+	}
+	if branchCol < 0 {
+		// Essential rows alone cover everything; they are in every cover,
+		// so this is the optimum. The greedy seed can only tie or lose.
+		e.record(rootCost, rootChosen, -1)
+		return finish(), nil
+	}
+	if rootCost+e.lowerBound(rootInfos, banned) >= e.bestCost {
+		return finish(), nil // the greedy seed is proven optimal
+	}
+
+	rows := e.branchCandidates(branchCol, uncovered, banned)
+	workers := parallel.Degree(opts.Parallelism)
+	_ = parallel.ForEach(workers, len(rows), func(_, i int) error {
+		if e.stop.Load() {
+			return nil
+		}
+		t := &bbTask{e: e, branch: i, localBound: greedy.Cost}
+		taskBanned := banned.Clone()
+		if e.exclude {
+			for _, r := range rows[:i] {
+				taskBanned.Add(r)
+			}
+		}
+		next := uncovered.Clone()
+		next.AndNot(p.rows[rows[i]])
+		chosen := make([]int, len(rootChosen), len(rootChosen)+8)
+		copy(chosen, rootChosen)
+		t.search(append(chosen, rows[i]), rootCost+e.rowCost(rows[i]), next, taskBanned)
+		return nil
+	})
+	return finish(), nil
+}

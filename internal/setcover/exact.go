@@ -3,153 +3,17 @@ package setcover
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/bitvec"
 )
 
-// ExactOptions tunes the branch-and-bound solver.
-type ExactOptions struct {
-	// MaxNodes bounds the search; 0 means 50 million nodes. If the bound is
-	// hit the best cover found so far is returned with Optimal = false.
-	MaxNodes int64
-}
-
-// SolveExact finds a minimum-cardinality cover by branch and bound, playing
-// the role of the paper's LINGO run on the reduced Detection Matrix.
-//
-// Branching follows the classical covering-table search: pick the uncovered
-// column with the fewest covering rows and branch on each of those rows in
-// decreasing coverage order. The incumbent starts from the greedy cover; a
-// maximal-independent-set lower bound (pairwise row-disjoint columns each
-// demand a distinct row) prunes the tree.
+// SolveExact finds a minimum-cardinality cover with the branch-and-bound
+// engine, playing the role of the paper's LINGO run on the reduced
+// Detection Matrix. It is the unit-weight instantiation of the unified
+// covering core (see engine.go): the incumbent starts from the greedy
+// cover, top-level branches fan out across ExactOptions.Parallelism
+// workers, and the anytime budgets (MaxNodes, TimeBudget, Context) return
+// the best cover found so far with Optimal = false when exceeded.
 func (p *Problem) SolveExact(opts ExactOptions) (Solution, error) {
-	if bad := p.UncoverableColumns(); bad != nil {
-		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
-	}
-	if p.numCols == 0 {
-		return Solution{Rows: nil, Optimal: true}, nil
-	}
-	maxNodes := opts.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 50_000_000
-	}
-
-	greedy, err := p.SolveGreedy()
-	if err != nil {
-		return Solution{}, err
-	}
-
-	s := &bbState{
-		p:        p,
-		best:     append([]int(nil), greedy.Rows...),
-		maxNodes: maxNodes,
-	}
-	// Column view for branching.
-	s.colRows = make([][]int, p.numCols)
-	for i, r := range p.rows {
-		r.ForEach(func(j int) { s.colRows[j] = append(s.colRows[j], i) })
-	}
-	uncovered := bitvec.NewSet(p.numCols)
-	uncovered.Fill()
-	s.search(nil, uncovered)
-
-	sol := Solution{
-		Rows:    append([]int(nil), s.best...),
-		Optimal: !s.truncated,
-		Nodes:   s.nodes,
-	}
-	sort.Ints(sol.Rows)
-	return sol, nil
-}
-
-type bbState struct {
-	p         *Problem
-	colRows   [][]int
-	best      []int
-	nodes     int64
-	maxNodes  int64
-	truncated bool
-}
-
-func (s *bbState) search(chosen []int, uncovered *bitvec.Set) {
-	s.nodes++
-	if s.nodes > s.maxNodes {
-		s.truncated = true
-		return
-	}
-	if uncovered.Empty() {
-		if len(chosen) < len(s.best) {
-			s.best = append(s.best[:0], chosen...)
-		}
-		return
-	}
-	// Prune on the independent-set lower bound.
-	if len(chosen)+s.lowerBound(uncovered) >= len(s.best) {
-		return
-	}
-	// Branch on the hardest uncovered column (fewest covering rows).
-	bestCol, bestCount := -1, int(^uint(0)>>1)
-	uncovered.ForEach(func(j int) {
-		if n := len(s.colRows[j]); n < bestCount {
-			bestCol, bestCount = j, n
-		}
-	})
-	if bestCol < 0 {
-		return
-	}
-	// Try covering rows in decreasing gain order.
-	rows := append([]int(nil), s.colRows[bestCol]...)
-	sort.Slice(rows, func(a, b int) bool {
-		ga := s.p.rows[rows[a]].IntersectionLen(uncovered)
-		gb := s.p.rows[rows[b]].IntersectionLen(uncovered)
-		if ga != gb {
-			return ga > gb
-		}
-		return rows[a] < rows[b]
-	})
-	for _, r := range rows {
-		if s.truncated {
-			return
-		}
-		next := uncovered.Clone()
-		next.AndNot(s.p.rows[r])
-		s.search(append(chosen, r), next)
-	}
-}
-
-// lowerBound greedily builds a set of pairwise row-disjoint uncovered
-// columns; each needs its own row, so the count is a valid lower bound on
-// the rows still required.
-func (s *bbState) lowerBound(uncovered *bitvec.Set) int {
-	usedRows := bitvec.NewSet(s.p.NumRows())
-	lb := 0
-	// Visit columns in increasing covering-row count: rare columns first
-	// maximizes the independent set found.
-	cols := uncovered.Elements()
-	sort.Slice(cols, func(a, b int) bool {
-		na, nb := len(s.colRows[cols[a]]), len(s.colRows[cols[b]])
-		if na != nb {
-			return na < nb
-		}
-		return cols[a] < cols[b]
-	})
-	for _, j := range cols {
-		disjoint := true
-		for _, r := range s.colRows[j] {
-			if usedRows.Contains(r) {
-				disjoint = false
-				break
-			}
-		}
-		if !disjoint {
-			continue
-		}
-		for _, r := range s.colRows[j] {
-			usedRows.Add(r)
-		}
-		lb++
-	}
-	return lb
+	return p.solveBB(nil, opts)
 }
 
 // SolveMinimal runs the full covering pipeline of the paper: reduction by
@@ -175,5 +39,6 @@ func (p *Problem) SolveMinimal(opts ExactOptions) (Solution, *Reduction, error) 
 		sol.Nodes = sub.Nodes
 	}
 	sort.Ints(sol.Rows)
+	sol.Cost = len(sol.Rows)
 	return sol, red, nil
 }

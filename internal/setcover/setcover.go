@@ -1,6 +1,6 @@
 // Package setcover implements unate set covering: reduction by essentiality
-// and dominance, an exact branch-and-bound solver, and the classical greedy
-// heuristic.
+// and dominance, a parallel anytime branch-and-bound solver, and the
+// classical greedy heuristic.
 //
 // This is the paper's optimization core. The Detection Matrix (rows =
 // candidate triplets, columns = faults) is reduced with the two classical
@@ -9,6 +9,32 @@
 // is solved exactly. The exact solver replaces the commercial ILP package
 // LINGO used in the paper; both deliver a provably minimum cover of the
 // residual, which is all the experiment requires.
+//
+// Cardinality (SolveExact) and weighted (SolveExactWeighted) solves share
+// one branch-and-bound engine — cardinality is the nil-weights (unit cost)
+// instantiation. The engine fans its top-level branches out across the
+// internal/parallel pool and prunes with a shared atomic incumbent, sibling
+// -row exclusion and per-node essentiality re-reduction; see engine.go.
+//
+// # Determinism
+//
+// For solves that complete within their budgets, Solution.Rows is
+// bit-identical for every ExactOptions.Parallelism value (the same
+// contract as internal/fsim and internal/dmatrix): each worker reports the
+// first optimum of its subtree in depth-first order, and the merge
+// tie-breaks equal costs toward the lower top-level branch. Only
+// Solution.Nodes — an effort counter, like wall-clock time — depends on
+// worker timing when Parallelism > 1.
+//
+// # Anytime contract
+//
+// ExactOptions.MaxNodes, TimeBudget and Context bound the search; a
+// truncated solve returns the best cover found so far (never worse than the
+// greedy incumbent, always a valid cover) with Optimal = false and a nil
+// error. Exceeding a budget is not an error: it is the anytime trade the
+// caller asked for. Truncated results are outside the bit-identical
+// guarantee — which covers were found before the budget won the race is as
+// timing-dependent as the budget itself; Optimal = false is the signal.
 //
 // The package is deliberately independent of testing concepts: rows cover
 // columns, nothing more, mirroring how the paper leans on generic
@@ -112,9 +138,17 @@ type Solution struct {
 	// Rows are the selected row indices (into the problem they were solved
 	// on), sorted ascending.
 	Rows []int
-	// Optimal reports whether the solver proved minimality of Rows' size.
+	// Cost is the total cost of Rows: their summed weights for weighted
+	// solves, their count for cardinality solves.
+	Cost int
+	// Optimal reports whether the solver proved minimality of Rows' cost.
+	// It is false when a budget (MaxNodes, TimeBudget, Context) truncated
+	// the search; Rows is then the best cover found so far.
 	Optimal bool
-	// Nodes counts branch-and-bound nodes explored (0 for greedy).
+	// Nodes counts branch-and-bound nodes explored (0 for greedy). It is an
+	// effort counter: with ExactOptions.Parallelism > 1 it depends on worker
+	// timing — pruning races against the shared incumbent — and is excluded
+	// from the bit-identical guarantee that covers Rows, Cost and Optimal.
 	Nodes int64
 }
 
@@ -122,18 +156,55 @@ type Solution struct {
 // covering the most uncovered columns. Ties break toward lower row index,
 // making the result deterministic.
 func (p *Problem) SolveGreedy() (Solution, error) {
+	return p.solveGreedyImpl(nil)
+}
+
+// solveGreedyImpl is the greedy heuristic shared by SolveGreedy (weights
+// nil: maximize gain) and SolveGreedyWeighted (minimize weight per newly
+// covered column). Ratio comparisons use cross-multiplication so the
+// outcome is exact. It also seeds the branch-and-bound incumbent.
+func (p *Problem) solveGreedyImpl(weights []int) (Solution, error) {
 	if bad := p.UncoverableColumns(); bad != nil {
 		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
 	}
 	uncovered := bitvec.NewSet(p.numCols)
 	uncovered.Fill()
 	var sol Solution
+	if weights != nil {
+		// Zero-weight rows with any gain are free: take them up front,
+		// highest gain first (ties toward the lower index). Covering only
+		// ever shrinks gains, so once no free row gains, none will again.
+		for !uncovered.Empty() {
+			best, bestGain := -1, 0
+			for i, w := range weights {
+				if w != 0 {
+					continue
+				}
+				if gain := p.rows[i].IntersectionLen(uncovered); gain > bestGain {
+					best, bestGain = i, gain
+				}
+			}
+			if best < 0 {
+				break
+			}
+			sol.Rows = append(sol.Rows, best)
+			uncovered.AndNot(p.rows[best])
+		}
+	}
 	for !uncovered.Empty() {
-		best, bestGain := -1, 0
+		best, bestGain, bestCost := -1, 0, 0
 		for i, r := range p.rows {
 			gain := r.IntersectionLen(uncovered)
-			if gain > bestGain {
-				best, bestGain = i, gain
+			if gain == 0 {
+				continue
+			}
+			cost := 1
+			if weights != nil {
+				cost = weights[i]
+			}
+			// cost/gain < bestCost/bestGain ⇔ cost*bestGain < bestCost*gain.
+			if best < 0 || cost*bestGain < bestCost*gain {
+				best, bestGain, bestCost = i, gain, cost
 			}
 		}
 		if best < 0 {
@@ -143,5 +214,15 @@ func (p *Problem) SolveGreedy() (Solution, error) {
 		uncovered.AndNot(p.rows[best])
 	}
 	sort.Ints(sol.Rows)
+	sol.Cost = coverCost(weights, sol.Rows)
 	return sol, nil
+}
+
+// coverCost is the total cost of a row selection: its summed weights, or
+// its cardinality when weights is nil.
+func coverCost(weights []int, rows []int) int {
+	if weights == nil {
+		return len(rows)
+	}
+	return totalWeight(weights, rows)
 }

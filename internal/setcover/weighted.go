@@ -3,15 +3,14 @@ package setcover
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/bitvec"
 )
 
 // Weighted covering: choose rows minimizing total weight rather than
 // cardinality. In the reseeding flow the weight of a candidate triplet is
 // its trimmed test length, so the weighted solve minimizes global test time
 // instead of ROM area — the other end of the trade-off the paper's Figure 2
-// explores.
+// explores. The exact solve is the weights != nil instantiation of the
+// unified branch-and-bound engine in engine.go.
 
 // validateWeights checks one non-negative weight per row.
 func (p *Problem) validateWeights(weights []int) error {
@@ -26,98 +25,27 @@ func (p *Problem) validateWeights(weights []int) error {
 	return nil
 }
 
-// SolveGreedyWeighted runs the weighted Chvátal heuristic: repeatedly take
-// the row minimizing weight per newly covered column. Ties break toward the
-// lower row index.
+// SolveGreedyWeighted runs the weighted Chvátal heuristic: zero-weight rows
+// with any gain are free and taken up front (highest gain first), then the
+// scan repeatedly takes the row minimizing weight per newly covered column.
+// Ties break toward the lower row index.
 func (p *Problem) SolveGreedyWeighted(weights []int) (Solution, error) {
 	if err := p.validateWeights(weights); err != nil {
 		return Solution{}, err
 	}
-	if bad := p.UncoverableColumns(); bad != nil {
-		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
-	}
-	uncovered := bitvec.NewSet(p.numCols)
-	uncovered.Fill()
-	var sol Solution
-	for !uncovered.Empty() {
-		best := -1
-		var bestRatio float64
-		for i, r := range p.rows {
-			gain := r.IntersectionLen(uncovered)
-			if gain == 0 {
-				continue
-			}
-			// Zero-weight rows with any gain are free: take immediately.
-			ratio := float64(weights[i]) / float64(gain)
-			if best < 0 || ratio < bestRatio {
-				best, bestRatio = i, ratio
-			}
-		}
-		if best < 0 {
-			return Solution{}, fmt.Errorf("setcover: internal: no progress with %d columns uncovered", uncovered.Len())
-		}
-		sol.Rows = append(sol.Rows, best)
-		uncovered.AndNot(p.rows[best])
-	}
-	sort.Ints(sol.Rows)
-	return sol, nil
+	return p.solveGreedyImpl(weights)
 }
 
-// SolveExactWeighted finds a minimum-total-weight cover by branch and
-// bound. The incumbent starts from the weighted greedy cover; the lower
-// bound sums, over a greedily built set of pairwise row-disjoint uncovered
-// columns, each column's cheapest covering row.
+// SolveExactWeighted finds a minimum-total-weight cover with the
+// branch-and-bound engine. The incumbent starts from the weighted greedy
+// cover; the lower bound sums, over a greedily built set of pairwise
+// row-disjoint uncovered columns, each column's cheapest available row. The
+// parallel fan-out and the anytime budgets behave exactly as in SolveExact.
 func (p *Problem) SolveExactWeighted(weights []int, opts ExactOptions) (Solution, error) {
 	if err := p.validateWeights(weights); err != nil {
 		return Solution{}, err
 	}
-	if bad := p.UncoverableColumns(); bad != nil {
-		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
-	}
-	if p.numCols == 0 {
-		return Solution{Optimal: true}, nil
-	}
-	maxNodes := opts.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 50_000_000
-	}
-	greedy, err := p.SolveGreedyWeighted(weights)
-	if err != nil {
-		return Solution{}, err
-	}
-	s := &wbbState{
-		p:        p,
-		weights:  weights,
-		best:     append([]int(nil), greedy.Rows...),
-		bestCost: totalWeight(weights, greedy.Rows),
-		maxNodes: maxNodes,
-	}
-	s.colRows = make([][]int, p.numCols)
-	for i, r := range p.rows {
-		r.ForEach(func(j int) { s.colRows[j] = append(s.colRows[j], i) })
-	}
-	// Cheapest covering row per column, for the lower bound.
-	s.colMin = make([]int, p.numCols)
-	for j, rows := range s.colRows {
-		min := int(^uint(0) >> 1)
-		for _, r := range rows {
-			if weights[r] < min {
-				min = weights[r]
-			}
-		}
-		s.colMin[j] = min
-	}
-	uncovered := bitvec.NewSet(p.numCols)
-	uncovered.Fill()
-	s.search(nil, 0, uncovered)
-
-	sol := Solution{
-		Rows:    append([]int(nil), s.best...),
-		Optimal: !s.truncated,
-		Nodes:   s.nodes,
-	}
-	sort.Ints(sol.Rows)
-	return sol, nil
+	return p.solveBB(weights, opts)
 }
 
 func totalWeight(weights []int, rows []int) int {
@@ -126,104 +54,6 @@ func totalWeight(weights []int, rows []int) int {
 		t += weights[r]
 	}
 	return t
-}
-
-type wbbState struct {
-	p         *Problem
-	weights   []int
-	colRows   [][]int
-	colMin    []int
-	best      []int
-	bestCost  int
-	nodes     int64
-	maxNodes  int64
-	truncated bool
-}
-
-func (s *wbbState) search(chosen []int, cost int, uncovered *bitvec.Set) {
-	s.nodes++
-	if s.nodes > s.maxNodes {
-		s.truncated = true
-		return
-	}
-	if uncovered.Empty() {
-		if cost < s.bestCost {
-			s.bestCost = cost
-			s.best = append(s.best[:0], chosen...)
-		}
-		return
-	}
-	if cost+s.lowerBound(uncovered) >= s.bestCost {
-		return
-	}
-	// Branch on the uncovered column with the fewest covering rows.
-	bestCol, bestCount := -1, int(^uint(0)>>1)
-	uncovered.ForEach(func(j int) {
-		if n := len(s.colRows[j]); n < bestCount {
-			bestCol, bestCount = j, n
-		}
-	})
-	if bestCol < 0 {
-		return
-	}
-	rows := append([]int(nil), s.colRows[bestCol]...)
-	// Cheapest-per-gain first.
-	sort.Slice(rows, func(a, b int) bool {
-		ga := s.p.rows[rows[a]].IntersectionLen(uncovered)
-		gb := s.p.rows[rows[b]].IntersectionLen(uncovered)
-		ra := float64(s.weights[rows[a]]) / float64(maxI(ga, 1))
-		rb := float64(s.weights[rows[b]]) / float64(maxI(gb, 1))
-		if ra != rb {
-			return ra < rb
-		}
-		return rows[a] < rows[b]
-	})
-	for _, r := range rows {
-		if s.truncated {
-			return
-		}
-		next := uncovered.Clone()
-		next.AndNot(s.p.rows[r])
-		s.search(append(chosen, r), cost+s.weights[r], next)
-	}
-}
-
-// lowerBound sums each disjoint column's cheapest covering row.
-func (s *wbbState) lowerBound(uncovered *bitvec.Set) int {
-	usedRows := bitvec.NewSet(s.p.NumRows())
-	lb := 0
-	cols := uncovered.Elements()
-	sort.Slice(cols, func(a, b int) bool {
-		na, nb := len(s.colRows[cols[a]]), len(s.colRows[cols[b]])
-		if na != nb {
-			return na < nb
-		}
-		return cols[a] < cols[b]
-	})
-	for _, j := range cols {
-		disjoint := true
-		for _, r := range s.colRows[j] {
-			if usedRows.Contains(r) {
-				disjoint = false
-				break
-			}
-		}
-		if !disjoint {
-			continue
-		}
-		for _, r := range s.colRows[j] {
-			usedRows.Add(r)
-		}
-		lb += s.colMin[j]
-	}
-	return lb
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ReduceWeighted is Reduce with weight-aware row dominance: a row may only
@@ -265,5 +95,6 @@ func (p *Problem) SolveMinimalWeighted(weights []int, opts ExactOptions) (Soluti
 		sol.Nodes = sub.Nodes
 	}
 	sort.Ints(sol.Rows)
+	sol.Cost = totalWeight(weights, sol.Rows)
 	return sol, red, nil
 }

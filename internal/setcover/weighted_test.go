@@ -154,6 +154,40 @@ func TestWeightedEqualRowsKeepLighter(t *testing.T) {
 	}
 }
 
+// Regression for the free-row bug: SolveGreedyWeighted documented "take
+// zero-weight rows immediately" but scanned them by ratio, where every free
+// row ties at 0 and the lowest index wins regardless of gain. Free rows are
+// now taken up front, highest gain first, so the big free row 1 preempts
+// the small free row 0 (which then gains nothing and is dropped).
+func TestWeightedGreedyTakesFreeRowsByGain(t *testing.T) {
+	p := mk(5,
+		[]int{0},       // free, gain 1 — the old code took this first
+		[]int{0, 1, 2}, // free, gain 3 — must come first now
+		[]int{3, 4},    // weight 5
+		[]int{4},       // weight 1
+	)
+	weights := []int{0, 0, 5, 1}
+	sol, err := p.SolveGreedyWeighted(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(sol.Rows) != len(want) {
+		t.Fatalf("rows = %v, want %v", sol.Rows, want)
+	}
+	for i, r := range want {
+		if sol.Rows[i] != r {
+			t.Fatalf("rows = %v, want %v", sol.Rows, want)
+		}
+	}
+	if sol.Cost != 6 {
+		t.Errorf("cost = %d, want 6", sol.Cost)
+	}
+	if !p.Verify(sol.Rows) {
+		t.Error("cover invalid")
+	}
+}
+
 func TestWeightedZeroWeights(t *testing.T) {
 	// All-zero weights: any cover is optimal at cost 0; solver must not
 	// divide by zero or loop.

@@ -25,14 +25,27 @@
 //
 // # Parallelism
 //
-// The hot path of Solve — grading every candidate (δ, θ, T) triplet against
-// the fault list — runs on a bounded worker pool. ATPGOptions.Parallelism
-// controls the fault-simulation fan-out inside Prepare, and
-// Options.Parallelism controls the Detection Matrix build inside Solve; in
-// both, 1 forces the serial path and 0 (the zero value) uses one worker per
-// available processor. Parallel runs are guaranteed bit-identical to serial
-// runs — see internal/fsim and internal/dmatrix for the determinism
-// contract and the tests that enforce it.
+// The hot paths of Solve — grading every candidate (δ, θ, T) triplet
+// against the fault list, and the exact covering solve of the reduced
+// matrix — run on a bounded worker pool. ATPGOptions.Parallelism controls
+// the fault-simulation fan-out inside Prepare, and Options.Parallelism
+// controls both the Detection Matrix build and the covering solver's
+// branch-and-bound fan-out inside Solve; in all of them, 1 forces the
+// serial path and 0 (the zero value) uses one worker per available
+// processor. Parallel runs are guaranteed bit-identical to serial runs —
+// see internal/fsim, internal/dmatrix and internal/setcover for the
+// determinism contract and the tests that enforce it. (The solution is
+// covered by the guarantee; the SolverNodes effort counter, like
+// wall-clock time, is not, and neither is the best-so-far of a
+// budget-truncated solve, which reports Optimal = false.)
+//
+// # Anytime solving
+//
+// The exact covering solve honors a budget through Options.Exact
+// (ExactOptions): a node budget (MaxNodes), a wall-clock budget
+// (TimeBudget), or a cancellation Context. A truncated solve is not an
+// error — it returns the best cover found so far, never worse than the
+// greedy incumbent, with Solution.Optimal = false.
 package reseeding
 
 import (
@@ -79,6 +92,11 @@ type SelectedTriplet = core.SelectedTriplet
 
 // Options configures Flow.Solve.
 type Options = core.Options
+
+// ExactOptions tunes the exact covering solver reachable through
+// Options.Exact: node budget, wall-clock budget and cancellation context
+// (the anytime contract), plus the branch-and-bound worker-pool fan-out.
+type ExactOptions = setcover.ExactOptions
 
 // ATPGOptions configures the deterministic test generation step.
 type ATPGOptions = atpg.Options
