@@ -1,6 +1,8 @@
 // Command atpg runs the deterministic test generator on a circuit and
-// prints the compacted test set with coverage statistics. It can emit the
-// patterns to a file consumed by cmd/faultsim.
+// prints the compacted test set with coverage statistics, including the
+// full fault-collapsing report (total, representatives, classes, largest
+// class). It can emit the patterns to a file consumed by cmd/faultsim.
+// SIGINT/SIGTERM cancel a long run.
 //
 // Usage:
 //
@@ -10,13 +12,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	reseeding "repro"
 	"repro/internal/atpg"
 	"repro/internal/bench"
-	"repro/internal/fault"
 	"repro/internal/netlist"
 )
 
@@ -30,20 +35,25 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c, err := loadCircuit(*file, *circuit)
 	if err != nil {
 		fail(err)
 	}
-	faults, stats, err := fault.List(c)
+	// The facade variant keeps the collapsing statistics the plain Faults
+	// helper discards.
+	faults, stats, err := reseeding.FaultsWithStats(c)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
 		c.Name, len(c.Inputs), len(c.Outputs), c.NumLogicGates())
-	fmt.Printf("faults: %d collapsed from %d (largest class %d)\n",
-		stats.Collapsed, stats.Total, stats.MaxClass)
+	fmt.Printf("faults: %d collapsed from %d in %d equivalence classes (largest class %d)\n",
+		stats.Collapsed, stats.Total, stats.Classes, stats.MaxClass)
 
-	res, err := atpg.Run(c, faults, atpg.Options{Seed: *seed, BacktrackLimit: *limit})
+	res, err := atpg.Run(c, faults, atpg.Options{Seed: *seed, BacktrackLimit: *limit, Context: ctx})
 	if err != nil {
 		fail(err)
 	}

@@ -12,17 +12,21 @@
 //
 // The fault list is graded on a worker pool sized by -j (default: one worker
 // per processor); the detection report is bit-identical for every -j value.
+// SIGINT/SIGTERM cancel a long grading run.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	reseeding "repro"
 	"repro/internal/bench"
 	"repro/internal/bitvec"
-	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
 )
@@ -41,6 +45,9 @@ func main() {
 		fail(fmt.Errorf("-patterns is required"))
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c, err := loadCircuit(*file, *circuit)
 	if err != nil {
 		fail(err)
@@ -49,7 +56,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	faults, _, err := fault.List(c)
+	faults, stats, err := reseeding.FaultsWithStats(c)
 	if err != nil {
 		fail(err)
 	}
@@ -57,11 +64,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := sim.Run(faults, pats, fsim.Options{DropDetected: true, Parallelism: *jobs})
+	res, err := sim.Run(faults, pats, fsim.Options{DropDetected: true, Parallelism: *jobs, Context: ctx})
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("circuit %s: %d faults, %d patterns\n", c.Name, len(faults), len(pats))
+	fmt.Printf("circuit %s: %d faults (collapsed from %d), %d patterns\n",
+		c.Name, len(faults), stats.Total, len(pats))
 	fmt.Printf("detected %d (%.2f%%), %d gate evaluations\n",
 		res.NumDetected, 100*res.Coverage(), res.GateEvals)
 	if *verbose {

@@ -8,26 +8,32 @@
 //	reseed -circuit s1238 -j 4        # bound the worker pool to 4 goroutines
 //	reseed -circuit s1238 -solve-budget 2s   # anytime covering solve
 //
+// The command is a thin client of the reseeding Engine: the flags are
+// packed into a single reseeding.Request and answered by Engine.Solve.
+// SIGINT/SIGTERM cancel the request context; an interrupt during the
+// covering solve prints the best solution found so far (optimal=false,
+// the anytime contract) instead of dying mid-solve, while an interrupt
+// before any solution exists exits with an error.
+//
 // Fault simulation, Detection Matrix construction and the exact covering
 // solve run on a worker pool sized by -j (default: one worker per
 // processor). The computed solution is bit-identical for every -j value as
 // long as the solve completes. -solve-budget caps the wall-clock time of
-// the exact covering solve: a truncated solve keeps the best cover found
-// so far and reports optimal=false (the anytime contract) — that
-// best-so-far is timing dependent and not covered by the -j guarantee.
+// the exact covering solve — like an interrupt, a truncated solve keeps
+// the best cover found so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/atpg"
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/netlist"
+	reseeding "repro"
 	"repro/internal/report"
-	"repro/internal/tpg"
 )
 
 func main() {
@@ -49,59 +55,52 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := loadCircuit(*file, *circuit)
-	if err != nil {
-		fail(err)
-	}
-	gen, err := tpg.ByName(*kind, len(c.Inputs))
-	if err != nil {
-		fail(err)
-	}
-	var solverKind core.SolverKind
-	switch *solver {
-	case "exact":
-		solverKind = core.SolverExact
-	case "greedy":
-		solverKind = core.SolverGreedy
-	case "greedy-noreduce":
-		solverKind = core.SolverGreedyNoReduce
-	default:
-		fail(fmt.Errorf("unknown solver %q", *solver))
-	}
+	// SIGINT/SIGTERM cancel the request; the Engine turns a cancellation
+	// that reaches the covering phase into a best-so-far solution.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
-		c.Name, len(c.Inputs), len(c.Outputs), c.NumLogicGates())
-	flow, err := core.Prepare(c, atpg.Options{Seed: *seed, Parallelism: *jobs})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("ATPG: %d patterns, %d target faults (coverage %.2f%%, %d untestable, %d aborted)\n",
-		len(flow.Patterns), len(flow.TargetFaults),
-		100*flow.ATPG.Coverage(), len(flow.ATPG.Untestable), len(flow.ATPG.Aborted))
-
-	var objective core.Objective
-	switch *objectv {
-	case "triplets":
-		objective = core.MinimizeTriplets
-	case "testlength":
-		objective = core.MinimizeTestLength
-	default:
-		fail(fmt.Errorf("unknown objective %q", *objectv))
-	}
-
-	coreOpts := core.Options{
+	req := reseeding.Request{
+		Circuit:     *circuit,
+		TPG:         *kind,
 		Cycles:      *cycles,
 		Seed:        *seed + 1,
-		Solver:      solverKind,
-		Objective:   objective,
+		ATPGSeed:    *seed,
+		Solver:      *solver,
+		Objective:   *objectv,
 		NoTrim:      *noTrim,
-		Parallelism: *jobs,
+		SolveBudget: *solveBudget,
 	}
-	coreOpts.Exact.TimeBudget = *solveBudget
-	sol, err := flow.Solve(gen, coreOpts)
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		req.Circuit, req.Bench = "", string(src)
+	}
+
+	target := *circuit
+	if *file != "" {
+		target = *file
+	}
+	fmt.Fprintf(os.Stderr, "reseed: %s: running ATPG, building the Detection Matrix and solving with the %s TPG (interrupt to keep the best cover found)...\n",
+		target, *kind)
+
+	eng := reseeding.NewEngine(reseeding.EngineOptions{Parallelism: *jobs})
+	resp, err := eng.Solve(ctx, req)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fail(fmt.Errorf("interrupted before a solution existed: %w", err))
+		}
 		fail(err)
 	}
+	sol := resp.Solution
+
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates\n",
+		resp.Circuit.Name, resp.Circuit.Inputs, resp.Circuit.Outputs, resp.Circuit.Gates)
+	fmt.Printf("ATPG: %d patterns, %d target faults (coverage %.2f%%, %d untestable, %d aborted)\n",
+		resp.ATPG.Patterns, resp.ATPG.TargetFaults,
+		100*resp.ATPG.Coverage, resp.ATPG.Untestable, resp.ATPG.Aborted)
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -125,6 +124,9 @@ func main() {
 		sol.TestLength, sol.UniformLength, sol.ROMBits)
 	fmt.Printf("effort: %d triplet simulations, %d gate evaluations\n",
 		sol.TripletSims, sol.GateEvals)
+	if resp.Interrupted {
+		fmt.Println("interrupted: this is the best cover found before cancellation (optimal=false)")
+	}
 
 	if *verbose {
 		fmt.Println()
@@ -143,25 +145,6 @@ func main() {
 			fail(err)
 		}
 	}
-}
-
-func loadCircuit(file, circuit string) (*netlist.Circuit, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		c, err := netlist.Parse(file, f)
-		if err != nil {
-			return nil, err
-		}
-		if !c.IsCombinational() {
-			return c.FullScan()
-		}
-		return c, nil
-	}
-	return bench.ScanView(circuit)
 }
 
 func fail(err error) {

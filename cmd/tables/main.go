@@ -10,15 +10,26 @@
 //	tables -figure 2       # just Figure 2
 //	tables -circuits s420,s1238 -cycles 128
 //	tables -all -solve-budget 5s   # anytime: cap each exact covering solve
+//
+// All circuits run on one shared reseeding Engine, so Figure 2 reuses the
+// s1238 ATPG preparation from the table run. SIGINT/SIGTERM cancel the
+// run: the tables are rendered for every circuit completed so far (an
+// exact covering solve interrupted mid-search contributes its best-so-far
+// solution with Optimal = false) instead of dying without output.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	reseeding "repro"
 	"repro/internal/experiments"
 )
 
@@ -39,12 +50,17 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{
 		Cycles:      *cycles,
 		Seed:        *seed,
 		WithGatsby:  !*noGatsby,
 		Parallelism: *jobs,
 		SolveBudget: *budget,
+		Context:     ctx,
+		Engine:      reseeding.NewEngine(reseeding.EngineOptions{Parallelism: *jobs}),
 	}
 	switch {
 	case *circuits != "":
@@ -57,6 +73,7 @@ func main() {
 
 	wantTables := *figure == 0
 	wantFigure := *table == 0 && (*figure == 2 || *figure == 0)
+	interrupted := false
 
 	if wantTables {
 		start := time.Now()
@@ -65,6 +82,12 @@ func main() {
 			t0 := time.Now()
 			cr, err := experiments.RunCircuit(name, cfg)
 			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					interrupted = true
+					fmt.Fprintf(os.Stderr, "  %-8s interrupted — rendering the %d completed circuits\n",
+						name, len(results))
+					break
+				}
 				fail(err)
 			}
 			results = append(results, cr)
@@ -73,23 +96,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "flow complete in %.1fs\n\n", time.Since(start).Seconds())
 
-		if *table == 0 || *table == 1 {
-			if err := experiments.WriteTable1(os.Stdout, results, cfg.WithGatsby); err != nil {
-				fail(err)
+		if len(results) > 0 {
+			if *table == 0 || *table == 1 {
+				if err := experiments.WriteTable1(os.Stdout, results, cfg.WithGatsby); err != nil {
+					fail(err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+			if *table == 0 || *table == 2 {
+				if err := experiments.WriteTable2(os.Stdout, results); err != nil {
+					fail(err)
+				}
+				fmt.Println()
+			}
 		}
-		if *table == 0 || *table == 2 {
-			if err := experiments.WriteTable2(os.Stdout, results); err != nil {
-				fail(err)
-			}
-			fmt.Println()
+		if interrupted {
+			fmt.Println("(interrupted: tables cover the circuits completed before cancellation;")
+			fmt.Println(" solves cut off mid-search report their best-so-far cover, optimal=false)")
+			os.Exit(130)
 		}
 	}
 
 	if wantFigure {
 		points, err := experiments.Figure2(cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "tables: figure 2 interrupted")
+				os.Exit(130)
+			}
 			fail(err)
 		}
 		if err := experiments.WriteFigure2(os.Stdout, points); err != nil {

@@ -1,0 +1,121 @@
+package reseeding
+
+// Facade-level coverage of the v2 Engine surface: the v1 wrappers really
+// are served by the package-default Engine, and the fault facade exposes
+// the collapsing statistics.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The v1 Prepare wrapper honors ATPGOptions.Context: a cancelled context
+// aborts the preparation instead of running the ATPG to completion.
+func TestPrepareHonorsOptionsContext(t *testing.T) {
+	scan, err := ScanView("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Prepare(scan, ATPGOptions{Seed: 42, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Prepare returned %v, want context.Canceled", err)
+	}
+}
+
+// FaultsWithStats must return the same list as Faults plus the collapsing
+// statistics the plain helper discards.
+func TestFaultsWithStats(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+n1 = AND(a, b)
+n2 = NOT(n1)
+z = OR(n2, c)
+`
+	circ, err := ParseBench("tiny", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Faults(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, stats, err := FaultsWithStats(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(plain) {
+		t.Errorf("list lengths differ: %d vs %d", len(list), len(plain))
+	}
+	if stats.Collapsed != len(list) {
+		t.Errorf("stats.Collapsed = %d, list has %d", stats.Collapsed, len(list))
+	}
+	if stats.Total <= stats.Collapsed {
+		t.Errorf("collapsing had no effect: total %d, collapsed %d", stats.Total, stats.Collapsed)
+	}
+	if stats.Classes != stats.Collapsed {
+		t.Errorf("classes %d != collapsed %d", stats.Classes, stats.Collapsed)
+	}
+	if stats.MaxClass < 2 {
+		t.Errorf("largest class %d, want >= 2", stats.MaxClass)
+	}
+}
+
+// The v1 Prepare wrapper is served by the package-default Engine: two
+// calls with content-equal circuits and equal options share one cached
+// Flow (pointer identity), different options do not.
+func TestPrepareServedByDefaultEngine(t *testing.T) {
+	scanA, err := ScanView("s820")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanB, err := ScanView("s820") // distinct object, equal content
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Prepare(scanA, ATPGOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Prepare(scanB, ATPGOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("equal circuits + options did not share the cached Flow")
+	}
+	f3, err := Prepare(scanA, ATPGOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 == f1 {
+		t.Error("different ATPG seed shared a cached Flow")
+	}
+}
+
+// The v1 one-shot Run wrapper flows through the same caches and stays
+// deterministic.
+func TestRunServedByDefaultEngine(t *testing.T) {
+	a, err := Run("s420", "adder", ATPGOptions{Seed: 3}, Options{Cycles: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("s420", "adder", ATPGOptions{Seed: 3}, Options{Cycles: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTriplets() != b.NumTriplets() || a.TestLength != b.TestLength {
+		t.Errorf("repeated Run diverged: %d/%d vs %d/%d",
+			a.NumTriplets(), a.TestLength, b.NumTriplets(), b.TestLength)
+	}
+	stats := DefaultEngine().Stats()
+	if stats.PrepareBuilds == 0 || stats.Solves < 2 {
+		t.Errorf("default engine did not serve Run: %+v", stats)
+	}
+}

@@ -6,10 +6,40 @@ package reseeding_test
 // parallelism determinism guarantee means they hold at any -j).
 
 import (
+	"context"
 	"fmt"
 
 	reseeding "repro"
 )
+
+// ExampleEngine is the v2 front door: a long-lived Engine answers
+// serializable Requests, caching the ATPG preparation and the Detection
+// Matrix so a warm request only pays for the covering solve. The warm
+// solution is bit-identical to the cold one.
+func ExampleEngine() {
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
+	ctx := context.Background()
+	req := reseeding.Request{Circuit: "s420", TPG: "adder", Cycles: 64, Seed: 2}
+
+	cold, err := eng.Solve(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold: %d triplets, test length %d (matrix cached=%v)\n",
+		cold.Solution.NumTriplets(), cold.Solution.TestLength, cold.MatrixCached)
+
+	warm, err := eng.Solve(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("warm: identical=%v (matrix cached=%v)\n",
+		warm.Solution.TestLength == cold.Solution.TestLength &&
+			warm.Solution.NumTriplets() == cold.Solution.NumTriplets(),
+		warm.MatrixCached)
+	// Output:
+	// cold: 13 triplets, test length 370 (matrix cached=false)
+	// warm: identical=true (matrix cached=true)
+}
 
 // Example is the paper's flow end to end: generate the benchmark UUT in its
 // full-scan view, run the ATPG once, pick a functional module as the test

@@ -1,14 +1,17 @@
 // Custom circuit: the library is not tied to the built-in benchmarks. This
-// example parses a user netlist in the classic .bench format (here a 4-bit
-// carry-ripple comparator with a registered flag), converts it to its
-// full-scan test view, and computes reseeding solutions under two different
-// objectives: minimum ROM area (triplet count) and minimum test time.
+// example submits a user netlist in the classic .bench format (here a
+// 4-bit carry-ripple comparator with a registered flag) as an inline
+// Engine request — the serializable Request carries the netlist source
+// itself, so the same query could arrive as JSON over a wire — and
+// computes reseeding solutions under two different objectives: minimum ROM
+// area (triplet count) and minimum test time. Sequential sources are
+// converted to their full-scan test view automatically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
 
 	reseeding "repro"
 )
@@ -65,48 +68,41 @@ sticky_q = DFF(stin)
 `
 
 func main() {
-	c, err := reseeding.ParseBench("cmp4", strings.NewReader(comparatorBench))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("parsed %s: %d inputs, %d outputs, %d gates, %d DFFs\n",
-		c.Name, len(c.Inputs), len(c.Outputs), c.NumLogicGates(), len(c.DFFs))
+	ctx := context.Background()
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
 
-	// Sequential designs go through the full-scan transformation first,
-	// exactly as the paper treats the ISCAS'89 circuits.
-	scan, err := c.FullScan()
-	if err != nil {
-		log.Fatal(err)
-	}
-	flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("scan view: %d inputs; ATPG found %d patterns for %d faults\n\n",
-		len(scan.Inputs), len(flow.Patterns), len(flow.TargetFaults))
-
-	gen, err := reseeding.NewTPG("adder", len(scan.Inputs))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	for _, obj := range []struct {
-		name string
-		o    reseeding.Options
+	var width int
+	for i, obj := range []struct {
+		name      string
+		objective string
 	}{
-		{"minimize ROM area   ", reseeding.Options{Cycles: 32, Seed: 2}},
-		{"minimize test length", reseeding.Options{Cycles: 32, Seed: 2, Objective: reseeding.MinimizeTestLength}},
+		{"minimize ROM area   ", "triplets"},
+		{"minimize test length", "testlength"},
 	} {
-		sol, err := flow.Solve(gen, obj.o)
+		resp, err := eng.Solve(ctx, reseeding.Request{
+			Bench:     comparatorBench, // inline source; content-addressed in the cache
+			TPG:       "adder",
+			Cycles:    32,
+			Seed:      2,
+			Objective: obj.objective,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: %d triplets, %4d test cycles, %4d ROM bits (optimal=%v)\n",
-			obj.name, sol.NumTriplets(), sol.TestLength, sol.ROMBits, sol.Optimal)
+		if i == 0 {
+			fmt.Printf("scan view %s: %d inputs, %d gates; ATPG found %d patterns for %d faults\n\n",
+				resp.Circuit.Name, resp.Circuit.Inputs, resp.Circuit.Gates,
+				resp.ATPG.Patterns, resp.ATPG.TargetFaults)
+		}
+		width = resp.Circuit.Inputs
+		sol := resp.Solution
+		fmt.Printf("%s: %d triplets, %4d test cycles, %4d ROM bits (optimal=%v, prepare cached=%v)\n",
+			obj.name, sol.NumTriplets(), sol.TestLength, sol.ROMBits, sol.Optimal, resp.PrepareCached)
 	}
 
-	// The matching BIST hardware can be synthesized directly:
-	hw, err := reseeding.SynthesizeTPG("adder", len(scan.Inputs))
+	// The matching BIST hardware can be synthesized directly, as wide as
+	// the scan view's input vector.
+	hw, err := reseeding.SynthesizeTPG("adder", width)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,9 +3,14 @@
 // example runs the very same flow with a multiple-polynomial LFSR — the
 // classical reseeding hardware of Hellebrand et al. — instead of an
 // arithmetic accumulator, and contrasts the two solutions.
+//
+// Both queries go through one reseeding Engine, so the circuit is
+// prepared (fault list + ATPG) exactly once and each generator kind only
+// pays for its own Detection Matrix.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,31 +18,34 @@ import (
 )
 
 func main() {
-	scan, err := reseeding.ScanView("s641")
-	if err != nil {
-		log.Fatal(err)
-	}
-	flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("UUT %s: %d scan inputs, %d target faults, %d ATPG patterns\n\n",
-		scan.Name, len(scan.Inputs), len(flow.TargetFaults), len(flow.Patterns))
+	ctx := context.Background()
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
 
-	fmt.Printf("%-12s %10s %12s %12s %10s\n", "TPG", "triplets", "necessary", "test length", "optimal")
+	first := true
 	for _, kind := range []string{"lfsr", "adder"} {
-		gen, err := reseeding.NewTPG(kind, len(scan.Inputs))
+		resp, err := eng.Solve(ctx, reseeding.Request{
+			Circuit: "s641",
+			TPG:     kind,
+			Cycles:  64,
+			Seed:    2,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := flow.Solve(gen, reseeding.Options{Cycles: 64, Seed: 2})
-		if err != nil {
-			log.Fatal(err)
+		if first {
+			fmt.Printf("UUT %s: %d scan inputs, %d target faults, %d ATPG patterns\n\n",
+				resp.Circuit.Name, resp.Circuit.Inputs, resp.ATPG.TargetFaults, resp.ATPG.Patterns)
+			fmt.Printf("%-12s %10s %12s %12s %10s\n", "TPG", "triplets", "necessary", "test length", "optimal")
+			first = false
 		}
+		sol := resp.Solution
 		fmt.Printf("%-12s %10d %12d %12d %10v\n",
 			kind, sol.NumTriplets(), sol.NumNecessary, sol.TestLength, sol.Optimal)
 	}
 
+	stats := eng.Stats()
+	fmt.Printf("\nengine: %d ATPG preparation for %d solves (%d prepare cache hits)\n",
+		stats.PrepareBuilds, stats.Solves, stats.PrepareHits)
 	fmt.Println(`
 Notes: for the LFSR, θ selects one of the bank's feedback polynomials
 (multiple-polynomial reseeding); for the accumulator θ is the addend held

@@ -1,9 +1,17 @@
 // Quickstart: compute a minimal reseeding solution for one benchmark UUT
-// with an adder-based accumulator TPG, and print what would be stored in
-// the BIST ROM.
+// through the reseeding Engine, and print what would be stored in the
+// BIST ROM.
+//
+// The Engine is the v2 front door: a request is a plain (JSON-taggable)
+// struct, the expensive artifacts — the ATPG preparation and the
+// Detection Matrix — are cached inside the Engine, and the context
+// cancels the whole pipeline. The second request below reuses the first
+// one's ATPG preparation: only the matrix for the new generator kind is
+// built.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,41 +19,28 @@ import (
 )
 
 func main() {
-	// The unit under test: the full-scan view of a benchmark circuit. Any
-	// combinational *reseeding.Circuit works, including ones parsed from
-	// .bench files via reseeding.ParseBench.
-	scan, err := reseeding.ScanView("s420")
+	ctx := context.Background()
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
+
+	// One reseeding query: the unit under test (the full-scan view of a
+	// benchmark circuit), the TPG kind, the evolution length T and the θ
+	// seed. Any combinational circuit works — inline .bench source goes in
+	// the Bench field instead of Circuit.
+	resp, err := eng.Solve(ctx, reseeding.Request{
+		Circuit: "s420",
+		TPG:     "adder",
+		Cycles:  64,
+		Seed:    2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("UUT %s: %d inputs, %d outputs, %d gates\n",
-		scan.Name, len(scan.Inputs), len(scan.Outputs), scan.NumLogicGates())
+		resp.Circuit.Name, resp.Circuit.Inputs, resp.Circuit.Outputs, resp.Circuit.Gates)
+	fmt.Printf("ATPG: %d patterns covering %d faults (cached=%v)\n",
+		resp.ATPG.Patterns, resp.ATPG.TargetFaults, resp.PrepareCached)
 
-	// Prepare runs the deterministic ATPG once: it yields the target fault
-	// list F and the compacted test set the triplet candidates are seeded
-	// from.
-	flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("ATPG: %d patterns covering %d faults\n",
-		len(flow.Patterns), len(flow.TargetFaults))
-
-	// The TPG is an existing functional unit — here an adder-based
-	// accumulator as wide as the UUT's input vector.
-	gen, err := reseeding.NewTPG("adder", len(scan.Inputs))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Solve casts triplet selection as a set covering problem: essentiality
-	// and dominance shrink the Detection Matrix, an exact branch-and-bound
-	// covers the residual.
-	sol, err := flow.Solve(gen, reseeding.Options{Cycles: 64, Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-
+	sol := resp.Solution
 	fmt.Printf("\nreseeding solution: %d triplets (%d necessary, %d from solver)\n",
 		sol.NumTriplets(), sol.NumNecessary, sol.NumFromSolver)
 	fmt.Printf("global test length: %d cycles, ROM: %d bits\n", sol.TestLength, sol.ROMBits)
@@ -53,4 +48,19 @@ func main() {
 	for i, t := range sol.Triplets {
 		fmt.Printf("  %2d: δ=%s θ=%s T=%d\n", i, t.Delta.Hex(), t.Theta.Hex(), t.EffectiveCycles)
 	}
+
+	// Same circuit, different generator: the ATPG preparation is served
+	// from the Engine's cache (prepare_cached=true), so only the new
+	// generator's Detection Matrix is built.
+	resp2, err := eng.Solve(ctx, reseeding.Request{
+		Circuit: "s420",
+		TPG:     "lfsr",
+		Cycles:  64,
+		Seed:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame UUT with an LFSR (prepare cached=%v): %d triplets, test length %d\n",
+		resp2.PrepareCached, resp2.Solution.NumTriplets(), resp2.Solution.TestLength)
 }

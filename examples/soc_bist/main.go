@@ -7,11 +7,19 @@
 //
 // The example wraps the shared accumulator in a per-core view (a Generator
 // that embeds core-width seeds into the bus and extracts the core's slice)
-// and computes an independent minimal reseeding solution per core through
-// the same covering flow.
+// and computes an independent minimal reseeding solution per core.
+//
+// Because the per-core view is a custom Generator — not one of the named
+// kinds a serializable Request can carry — it uses the Engine's
+// artifact-level API: PrepareNamed serves each core's ATPG preparation
+// from the cache (across program runs of the same process, and across
+// cores repeated in a session), and SolveFlow threads the context through
+// matrix construction and the covering solve. Matrices are not memoized on
+// this path; a custom Generator's name is too weak a cache key.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -73,6 +81,9 @@ func (b *busTPG) RandomTheta(rng *rand.Rand) bitvec.Vector {
 }
 
 func main() {
+	ctx := context.Background()
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
+
 	// Three cores of the SoC, each a benchmark UUT in full-scan form.
 	cores := []string{"s420", "s820", "s953"}
 
@@ -83,11 +94,7 @@ func main() {
 	offset := 0
 	totalROM, totalLength := 0, 0
 	for _, name := range cores {
-		scan, err := reseeding.ScanView(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
+		flow, _, err := eng.PrepareNamed(ctx, name, reseeding.ATPGOptions{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,14 +102,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		w := len(scan.Inputs)
+		w := len(flow.Circuit.Inputs)
 		if offset+w > busWidth {
 			offset = 0 // wrap: cores share bus lanes across sessions
 		}
 		gen := &busTPG{inner: inner, busWidth: busWidth, offset: offset, width: w}
 		offset += w
 
-		sol, err := flow.Solve(gen, reseeding.Options{Cycles: 64, Seed: 2})
+		sol, err := eng.SolveFlow(ctx, flow, gen, reseeding.Options{Cycles: 64, Seed: 2})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,15 @@
 // Tradeoff reproduces the paper's Figure 2 interactively: on s1238 with an
 // adder accumulator, sweeping the candidate evolution length T trades fewer
 // stored reseedings (less area) for a longer global test.
+//
+// Each point of the sweep is one Engine request that differs only in
+// Cycles: the ATPG preparation is computed once and served from the cache
+// for every subsequent point (watch the cached column), while each T gets
+// its own Detection Matrix.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,35 +19,32 @@ import (
 )
 
 func main() {
-	scan, err := reseeding.ScanView("s1238")
-	if err != nil {
-		log.Fatal(err)
-	}
-	flow, err := reseeding.Prepare(scan, reseeding.ATPGOptions{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	gen, err := reseeding.NewTPG("adder", len(scan.Inputs))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	sweep := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	points, err := flow.Tradeoff(gen, sweep, reseeding.Options{Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
 
 	fmt.Println("s1238 + adder accumulator: reseedings vs. test length")
-	fmt.Printf("%8s %10s %12s %10s\n", "T", "triplets", "test length", "ROM bits")
+	fmt.Printf("%8s %10s %12s %10s %8s\n", "T", "triplets", "test length", "ROM bits", "cached")
 	var chart []report.Point
-	for _, p := range points {
+	var width int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		resp, err := eng.Solve(ctx, reseeding.Request{
+			Circuit: "s1238",
+			TPG:     "adder",
+			Cycles:  t,
+			Seed:    2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol := resp.Solution
+		width = resp.Circuit.Inputs
 		// ROM: 2 seeds of UUT width plus a cycle counter per triplet.
-		romBits := p.Triplets * (2*len(scan.Inputs) + 16)
-		fmt.Printf("%8d %10d %12d %10d\n", p.Cycles, p.Triplets, p.TestLength, romBits)
+		romBits := sol.NumTriplets() * (2*width + 16)
+		fmt.Printf("%8d %10d %12d %10d %8v\n",
+			t, sol.NumTriplets(), sol.TestLength, romBits, resp.PrepareCached)
 		chart = append(chart, report.Point{
-			X: float64(p.TestLength), Y: float64(p.Triplets),
-			Label: fmt.Sprintf("%d", p.Triplets),
+			X: float64(sol.TestLength), Y: float64(sol.NumTriplets()),
+			Label: fmt.Sprintf("%d", sol.NumTriplets()),
 		})
 	}
 	fmt.Println()

@@ -10,10 +10,12 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxutil"
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
@@ -38,9 +40,18 @@ type Options struct {
 	// generated test set is bit-identical for any value (the fsim
 	// determinism guarantee; PODEM itself is single-threaded).
 	Parallelism int
+	// Context, when non-nil, cancels the run: it is checked between
+	// fault-simulation blocks (through fsim), before every PODEM target and
+	// at each phase boundary. A cancelled run returns the context's error —
+	// there is no partial test set.
+	Context context.Context
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with every zero tuning field replaced by
+// its documented default. Run applies it internally; the reseeding Engine
+// applies it too before deriving cache keys, so that explicitly passing a
+// default value and leaving the field zero address the same artifact.
+func (o Options) WithDefaults() Options {
 	if o.MaxRandomPatterns == 0 {
 		o.MaxRandomPatterns = 640
 	}
@@ -123,7 +134,7 @@ func (r *Result) DetectedFaults() []int {
 // Run generates a compacted test set for the fault list on the finalized
 // combinational circuit.
 func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if !c.IsCombinational() {
 		return nil, fmt.Errorf("atpg: circuit %q is sequential; apply FullScan first", c.Name)
 	}
@@ -149,7 +160,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 			block[i] = bitvec.Random(width, rng)
 		}
 		sub := subset(faults, undetected)
-		fres, err := sim.Run(sub, block, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
+		fres, err := sim.Run(sub, block, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism, Context: opts.Context})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}
@@ -191,6 +202,9 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 			if len(batch) == 64 {
 				break
 			}
+			if err := ctxutil.Err(opts.Context); err != nil {
+				return nil, fmt.Errorf("atpg: %w", err)
+			}
 			pattern, st := gen.generate(faults[fi], rng)
 			switch st {
 			case statusUntestable:
@@ -218,7 +232,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 			break // every remaining fault in range was classified
 		}
 		sub := subset(faults, undetected)
-		fres, err := sim.Run(sub, batch, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
+		fres, err := sim.Run(sub, batch, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism, Context: opts.Context})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}
@@ -253,7 +267,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, opts Options) (*Result, error
 		for i, p := range patterns {
 			reversed[len(patterns)-1-i] = p
 		}
-		fres, err := sim.Run(sub, reversed, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism})
+		fres, err := sim.Run(sub, reversed, fsim.Options{DropDetected: true, Parallelism: opts.Parallelism, Context: opts.Context})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %w", err)
 		}

@@ -1,0 +1,182 @@
+// Package cache provides the memoizing singleflight group behind the
+// reseeding Engine's artifact caches.
+//
+// A Group[K, V] is a concurrency-safe map from keys to values computed at
+// most once: the first caller of Do for a key (the leader) starts the
+// computation, concurrent callers with the same key join the flight instead
+// of duplicating the work, and later callers get the memoized value without
+// computing anything.
+//
+// # Cancellation
+//
+// Every caller waits under its own context and stops waiting the moment
+// that context is done. The computation itself runs under a flight context
+// detached from any single caller's, so one impatient caller cannot poison
+// the result for the others; the flight context is cancelled only when the
+// last interested caller has abandoned the flight, at which point the
+// computation is genuinely unwanted. A computation that returns an error
+// (including a cancellation error) is not memoized — the entry is dropped
+// and the next Do for the key starts a fresh flight.
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group memoizes the results of a keyed computation with singleflight
+// deduplication of concurrent identical calls. The zero value is ready to
+// use. A Group must not be copied after first use.
+type Group[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+	limit   int
+}
+
+type entry[V any] struct {
+	done    chan struct{} // closed when val/err are settled
+	cancel  context.CancelFunc
+	waiters int // callers currently interested in the result
+	settled bool
+	val     V
+	err     error
+}
+
+// Do returns the value for key, computing it with fn if it is not cached.
+// Concurrent calls with the same key share one invocation of fn; fn
+// receives a flight context that is cancelled only when every caller
+// sharing the flight has had its own context cancelled first. The second
+// return value reports whether the result came from the cache or a shared
+// flight (true) rather than a fresh leader computation (false).
+//
+// A nil ctx is treated as context.Background(). When ctx is done before the
+// flight settles, Do returns ctx.Err() without waiting further; the flight
+// keeps running for the remaining waiters, if any. Errors (fn failures and
+// abandoned flights alike) are never memoized: the key becomes computable
+// again immediately.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g.mu.Lock()
+	if g.entries == nil {
+		g.entries = make(map[K]*entry[V])
+	}
+	if e, ok := g.entries[key]; ok {
+		if e.settled {
+			g.mu.Unlock()
+			return e.val, true, e.err
+		}
+		e.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, e, true)
+	}
+
+	// Leader: run fn in its own goroutine under a flight context detached
+	// from ctx, then join the flight like any other waiter. Detachment (via
+	// context.WithoutCancel) keeps ctx's values visible to fn while making
+	// the flight's lifetime depend on the waiter count, not on the leader.
+	g.evictLocked()
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	e := &entry[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.entries[key] = e
+	g.mu.Unlock()
+
+	go func() {
+		val, err := fn(fctx)
+		g.mu.Lock()
+		e.val, e.err = val, err
+		e.settled = true
+		if err != nil && g.entries[key] == e {
+			// Failed flights are not memoized; the next Do retries. The
+			// identity check matters: an abandoned flight was already
+			// detached, and the key may since have been taken by a fresh
+			// one that must not be evicted.
+			delete(g.entries, key)
+		}
+		g.mu.Unlock()
+		close(e.done)
+		cancel() // release the flight context's resources
+	}()
+	return g.wait(ctx, key, e, false)
+}
+
+// wait blocks until the entry settles or ctx is done, maintaining the
+// waiter count. The last waiter to abandon an unsettled flight cancels it.
+func (g *Group[K, V]) wait(ctx context.Context, key K, e *entry[V], shared bool) (V, bool, error) {
+	select {
+	case <-e.done:
+		g.mu.Lock()
+		e.waiters--
+		g.mu.Unlock()
+		return e.val, shared, e.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 && !e.settled {
+			// Nobody wants this flight any more: cancel it and detach it
+			// from the key immediately, so a new caller starts a fresh
+			// flight instead of joining a doomed one.
+			e.cancel()
+			if g.entries[key] == e {
+				delete(g.entries, key)
+			}
+		}
+		g.mu.Unlock()
+		var zero V
+		return zero, shared, ctx.Err()
+	}
+}
+
+// SetLimit bounds the number of cached entries; 0 (the default) means
+// unbounded. When a new computation would exceed the bound, arbitrary
+// settled entries are evicted (random replacement — the map's iteration
+// order). In-flight computations are never evicted, so the bound can be
+// exceeded transiently while more than limit flights run concurrently.
+// Call it before the Group is shared between goroutines.
+func (g *Group[K, V]) SetLimit(n int) {
+	g.mu.Lock()
+	g.limit = n
+	g.mu.Unlock()
+}
+
+// evictLocked makes room for one more entry under the configured limit.
+// Caller holds g.mu.
+func (g *Group[K, V]) evictLocked() {
+	if g.limit <= 0 || len(g.entries) < g.limit {
+		return
+	}
+	for k, e := range g.entries {
+		if e.settled {
+			delete(g.entries, k)
+			if len(g.entries) < g.limit {
+				return
+			}
+		}
+	}
+}
+
+// Forget drops the cached value for key, if any. An in-flight computation
+// is not interrupted — its waiters still receive its result — but the
+// result will not be visible to future Do calls. The next Do for the key
+// computes afresh.
+func (g *Group[K, V]) Forget(key K) {
+	g.mu.Lock()
+	delete(g.entries, key)
+	g.mu.Unlock()
+}
+
+// Flush drops every cached value and forgets every in-flight computation
+// (current waiters still receive their results).
+func (g *Group[K, V]) Flush() {
+	g.mu.Lock()
+	g.entries = nil
+	g.mu.Unlock()
+}
+
+// Len returns the number of cached or in-flight entries.
+func (g *Group[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Concurrent identical keys must share one computation; the memoized value
+// must serve later calls without recomputing.
+func TestSingleflightDedup(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	shared := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, s, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], shared[i] = v, s
+		}(i)
+	}
+	// Let the goroutines pile onto the flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if results[i] != 42 {
+			t.Errorf("result[%d] = %d", i, results[i])
+		}
+		if !shared[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+
+	// Memoized: no new call, reported as shared.
+	v, s, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		t.Error("recomputed a memoized key")
+		return 0, nil
+	})
+	if err != nil || v != 42 || !s {
+		t.Errorf("cached Do = (%d, %v, %v)", v, s, err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+// A caller whose context is cancelled stops waiting promptly; the flight
+// keeps running for the remaining waiters.
+func TestWaiterCancellation(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.Do(ctx, "k", nil) // joins the flight; fn unused
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+
+	close(release)
+	v, _, err := g.Do(context.Background(), "k", nil)
+	if err != nil || v != 7 {
+		t.Fatalf("surviving flight = (%d, %v)", v, err)
+	}
+}
+
+// When every caller abandons a flight, the flight context is cancelled and
+// the failed computation is not memoized: the next Do retries.
+func TestAbandonedFlightCancelsAndRetries(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	doomed := make(chan struct{})
+	_, _, err := g.Do(ctx, "k", func(fctx context.Context) (int, error) {
+		calls.Add(1)
+		<-fctx.Done() // the last (only) waiter leaving must cancel us
+		close(doomed)
+		return 0, fctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller got %v", err)
+	}
+
+	// The abandoned flight is detached immediately: the very next Do must
+	// start a fresh computation even if the doomed one is still draining.
+	v, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		calls.Add(1)
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("retry = (%d, %v)", v, err)
+	}
+	<-doomed
+	if calls.Load() != 2 {
+		t.Errorf("fn ran %d times, want 2", calls.Load())
+	}
+}
+
+// Errors are returned to every waiter and never memoized.
+func TestErrorNotMemoized(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	v, shared, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 5, nil
+	})
+	if err != nil || v != 5 || shared {
+		t.Fatalf("retry = (%d, %v, %v)", v, shared, err)
+	}
+}
+
+// Forget drops a memoized value; distinct keys are independent.
+func TestForgetAndDistinctKeys(t *testing.T) {
+	var g Group[int, int]
+	for _, k := range []int{1, 2} {
+		v, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+			return k * 10, nil
+		})
+		if err != nil || v != k*10 {
+			t.Fatalf("key %d = (%d, %v)", k, v, err)
+		}
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	g.Forget(1)
+	var recomputed bool
+	if _, _, err := g.Do(context.Background(), 1, func(context.Context) (int, error) {
+		recomputed = true
+		return 11, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Error("forgotten key served from cache")
+	}
+	g.Flush()
+	if g.Len() != 0 {
+		t.Errorf("Len after Flush = %d", g.Len())
+	}
+}
+
+// SetLimit bounds the cache: settled entries are evicted to make room,
+// evicted keys recompute, retained values stay correct.
+func TestLimitEvictsSettledEntries(t *testing.T) {
+	var g Group[int, int]
+	g.SetLimit(2)
+	for k := 1; k <= 3; k++ {
+		if _, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+			return k * 10, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() > 2 {
+		t.Errorf("Len = %d, limit 2", g.Len())
+	}
+	// Every key still answers correctly, cached or recomputed.
+	for k := 1; k <= 3; k++ {
+		v, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+			return k * 10, nil
+		})
+		if err != nil || v != k*10 {
+			t.Errorf("key %d = (%d, %v)", k, v, err)
+		}
+	}
+}

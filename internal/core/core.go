@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -77,11 +78,15 @@ func (o Objective) String() string {
 	}
 }
 
+// DefaultCycles is the evolution length T used when Options.Cycles is zero.
+const DefaultCycles = 32
+
 // Options configures a Solve run.
 type Options struct {
 	// Cycles is the evolution length T applied to every candidate triplet
-	// (default 32). The paper tunes this experimentally per circuit; the
-	// trade-off between T and the number of reseedings is Figure 2.
+	// (default DefaultCycles). The paper tunes this experimentally per
+	// circuit; the trade-off between T and the number of reseedings is
+	// Figure 2.
 	Cycles int
 	// Seed drives θ selection.
 	Seed int64
@@ -107,16 +112,25 @@ type Options struct {
 	// wall-clock budget and cancellation context (the anytime contract:
 	// truncated solves yield the best cover found with Optimal = false),
 	// and its own Parallelism. A zero Exact.Parallelism inherits the
-	// Parallelism field above.
+	// Parallelism field above; a nil Exact.Context inherits Context below.
 	Exact setcover.ExactOptions
+	// Context, when non-nil, cancels a Solve end to end: the Detection
+	// Matrix build aborts with the context's error, and the exact covering
+	// solve turns anytime — it returns the best cover found so far with
+	// Optimal = false (the setcover contract), so a Solve cancelled after
+	// the matrix exists still yields a valid, if unproven, solution.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
 	if o.Cycles == 0 {
-		o.Cycles = 32
+		o.Cycles = DefaultCycles
 	}
 	if o.Exact.Parallelism == 0 {
 		o.Exact.Parallelism = o.Parallelism
+	}
+	if o.Exact.Context == nil {
+		o.Exact.Context = o.Context
 	}
 	return o
 }
@@ -207,8 +221,26 @@ type Solution struct {
 func (s *Solution) NumTriplets() int { return len(s.Triplets) }
 
 // Solve computes a reseeding solution for one generator and one evolution
-// length. The generator's width must match the circuit's input count.
+// length. The generator's width must match the circuit's input count. It is
+// BuildMatrix followed by SolveMatrix; callers that reuse one Detection
+// Matrix across several solves (or cache it, as the reseeding Engine does)
+// call the two halves directly.
 func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	m, err := f.BuildMatrix(gen, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(m, gen, opts)
+}
+
+// BuildMatrix constructs the Detection Matrix of this Flow for one
+// generator and the evolution length in opts (first-detection indices are
+// always recorded, so the matrix serves both objectives and trimming). The
+// matrix depends only on the Flow's artifacts, the generator kind and
+// width, opts.Cycles and opts.Seed — not on Parallelism, which is the
+// basis on which the Engine caches it.
+func (f *Flow) BuildMatrix(gen tpg.Generator, opts Options) (*dmatrix.Matrix, error) {
 	opts = opts.withDefaults()
 	if len(f.TargetFaults) == 0 {
 		return nil, fmt.Errorf("core: %s: empty target fault list", f.Circuit.Name)
@@ -216,12 +248,12 @@ func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
 	if len(f.Patterns) == 0 {
 		return nil, fmt.Errorf("core: %s: empty ATPG test set", f.Circuit.Name)
 	}
-
 	m, err := dmatrix.Build(f.Circuit, f.TargetFaults, f.Patterns, gen, dmatrix.Options{
 		Cycles:               opts.Cycles,
 		Seed:                 opts.Seed,
 		RecordFirstDetection: true,
 		Parallelism:          opts.Parallelism,
+		Context:              opts.Context,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -231,6 +263,19 @@ func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
 		// coverage); guard for callers passing custom fault lists.
 		return nil, fmt.Errorf("core: %s: candidate triplets do not cover F (%d uncovered)",
 			f.Circuit.Name, len(m.UncoveredFaults()))
+	}
+	return m, nil
+}
+
+// SolveMatrix reduces and solves a Detection Matrix previously built by
+// BuildMatrix on this Flow and assembles the reseeding solution. The
+// matrix is only read, never written, so one (possibly cached) matrix may
+// serve any number of concurrent SolveMatrix calls. The evolution length
+// is taken from the matrix itself; opts.Cycles is ignored here.
+func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	if m.NumTriplets() > 0 {
+		opts.Cycles = m.Triplets[0].Cycles
 	}
 
 	problem := setcover.NewProblem(m.NumFaults)
@@ -297,6 +342,7 @@ func (f *Flow) Solve(gen tpg.Generator, opts Options) (*Solution, error) {
 		}
 		if !red.Empty() {
 			var sub setcover.Solution
+			var err error
 			if opts.Solver == SolverExact {
 				sub, err = red.Residual.SolveExact(opts.Exact)
 			} else {

@@ -21,11 +21,18 @@ type solutionJSON struct {
 	UniformLength int `json:"uniform_length"`
 	ROMBits       int `json:"rom_bits"`
 
-	MatrixRows   int  `json:"matrix_rows"`
-	MatrixCols   int  `json:"matrix_cols"`
-	ResidualRows int  `json:"residual_rows"`
-	ResidualCols int  `json:"residual_cols"`
-	Optimal      bool `json:"optimal"`
+	MatrixRows     int   `json:"matrix_rows"`
+	MatrixCols     int   `json:"matrix_cols"`
+	ResidualRows   int   `json:"residual_rows"`
+	ResidualCols   int   `json:"residual_cols"`
+	DominatedRows  int   `json:"dominated_rows,omitempty"`
+	ImpliedCols    int   `json:"implied_cols,omitempty"`
+	ReductionIters int   `json:"reduction_iters,omitempty"`
+	SolverNodes    int64 `json:"solver_nodes,omitempty"`
+	Optimal        bool  `json:"optimal"`
+
+	GateEvals   int64 `json:"gate_evals,omitempty"`
+	TripletSims int   `json:"triplet_sims,omitempty"`
 }
 
 type tripletJSON struct {
@@ -36,22 +43,27 @@ type tripletJSON struct {
 	Faults    int    `json:"faults"`
 }
 
-// WriteJSON serializes the solution, ROM-ready: each triplet carries its
-// trimmed cycle count.
-func (s *Solution) WriteJSON(w io.Writer) error {
+// encode builds the stable JSON form of the solution.
+func (s *Solution) encode() solutionJSON {
 	width := 0
 	out := solutionJSON{
-		Circuit:       s.Circuit,
-		Generator:     s.Generator,
-		Cycles:        s.Cycles,
-		TestLength:    s.TestLength,
-		UniformLength: s.UniformLength,
-		ROMBits:       s.ROMBits,
-		MatrixRows:    s.MatrixRows,
-		MatrixCols:    s.MatrixCols,
-		ResidualRows:  s.ResidualRows,
-		ResidualCols:  s.ResidualCols,
-		Optimal:       s.Optimal,
+		Circuit:        s.Circuit,
+		Generator:      s.Generator,
+		Cycles:         s.Cycles,
+		TestLength:     s.TestLength,
+		UniformLength:  s.UniformLength,
+		ROMBits:        s.ROMBits,
+		MatrixRows:     s.MatrixRows,
+		MatrixCols:     s.MatrixCols,
+		ResidualRows:   s.ResidualRows,
+		ResidualCols:   s.ResidualCols,
+		DominatedRows:  s.DominatedRows,
+		ImpliedCols:    s.ImpliedCols,
+		ReductionIters: s.ReductionIters,
+		SolverNodes:    s.SolverNodes,
+		Optimal:        s.Optimal,
+		GateEvals:      s.GateEvals,
+		TripletSims:    s.TripletSims,
 	}
 	for _, t := range s.Triplets {
 		width = t.Delta.Width()
@@ -64,9 +76,37 @@ func (s *Solution) WriteJSON(w io.Writer) error {
 		})
 	}
 	out.Width = width
+	return out
+}
+
+// WriteJSON serializes the solution, ROM-ready: each triplet carries its
+// trimmed cycle count.
+func (s *Solution) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(s.encode())
+}
+
+// MarshalJSON renders the solution in the same stable form WriteJSON
+// writes (seeds as hex strings with an explicit width), making any struct
+// embedding a *Solution — notably the Engine's Response — serializable.
+func (s *Solution) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.encode())
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; like ReadSolutionJSON, only
+// the fields present in the stable form round-trip.
+func (s *Solution) UnmarshalJSON(data []byte) error {
+	var in solutionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decode solution: %w", err)
+	}
+	dec, err := decodeSolution(in)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
 }
 
 // ReadSolutionJSON deserializes a solution written by WriteJSON. Only the
@@ -76,18 +116,28 @@ func ReadSolutionJSON(r io.Reader) (*Solution, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decode solution: %w", err)
 	}
+	return decodeSolution(in)
+}
+
+func decodeSolution(in solutionJSON) (*Solution, error) {
 	s := &Solution{
-		Circuit:       in.Circuit,
-		Generator:     in.Generator,
-		Cycles:        in.Cycles,
-		TestLength:    in.TestLength,
-		UniformLength: in.UniformLength,
-		ROMBits:       in.ROMBits,
-		MatrixRows:    in.MatrixRows,
-		MatrixCols:    in.MatrixCols,
-		ResidualRows:  in.ResidualRows,
-		ResidualCols:  in.ResidualCols,
-		Optimal:       in.Optimal,
+		Circuit:        in.Circuit,
+		Generator:      in.Generator,
+		Cycles:         in.Cycles,
+		TestLength:     in.TestLength,
+		UniformLength:  in.UniformLength,
+		ROMBits:        in.ROMBits,
+		MatrixRows:     in.MatrixRows,
+		MatrixCols:     in.MatrixCols,
+		ResidualRows:   in.ResidualRows,
+		ResidualCols:   in.ResidualCols,
+		DominatedRows:  in.DominatedRows,
+		ImpliedCols:    in.ImpliedCols,
+		ReductionIters: in.ReductionIters,
+		SolverNodes:    in.SolverNodes,
+		Optimal:        in.Optimal,
+		GateEvals:      in.GateEvals,
+		TripletSims:    in.TripletSims,
 	}
 	for i, t := range in.Triplets {
 		delta, err := parseHex(t.Delta, in.Width)

@@ -1,0 +1,15 @@
+// Package ctxutil holds the one context helper shared by every
+// long-running layer's cancellation checks.
+package ctxutil
+
+import "context"
+
+// Err reports the context's error, tolerating a nil context (the zero
+// value of every Options.Context field in this repository means "not
+// cancellable").
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,360 @@
+// Package engine implements the long-lived reseeding Engine behind the
+// repro facade's v2 API: a concurrency-safe front door that memoizes the
+// expensive per-circuit artifacts and serves covering queries from plain,
+// serializable Requests.
+//
+// An Engine owns two artifact caches:
+//
+//   - Flows — the output of core.Prepare (collapsed fault list, ATPG test
+//     set, target fault list), keyed by circuit identity plus the
+//     ATPG tuning options;
+//   - Detection Matrices — the output of core.Flow.BuildMatrix, keyed by
+//     the flow key plus (generator kind, evolution length T, θ seed).
+//
+// Both caches deduplicate concurrent identical requests with a
+// singleflight group (internal/cache): N goroutines asking for the same
+// circuit run exactly one ATPG, and all of them get the same *Flow.
+//
+// # Cache keying
+//
+// A circuit is identified by name for built-in benchmarks
+// ("bench:<name>") and by a SHA-256 hash of the .bench source for inline
+// circuits ("inline:<hash>"), so equal sources share artifacts and any
+// textual change is automatically a different key — there is no
+// invalidation protocol to get wrong. ATPG options enter the flow key
+// after WithDefaults normalization (an explicit default and a zero field
+// address the same artifact). Matrix keys add the generator kind — which,
+// together with the circuit's input width, fully determines the generator
+// — the evolution length, and the θ seed.
+//
+// Parallelism and Context are deliberately NOT part of any key: the
+// repository-wide determinism guarantee makes artifacts bit-identical for
+// every worker-pool degree, so a flow prepared at -j 4 is the flow a
+// serial caller would have computed.
+//
+// # Invalidation and bounds
+//
+// Successful artifacts are memoized for the Engine's lifetime; Flush drops
+// everything. Failed or cancelled computations are never memoized — the
+// next identical request recomputes. Callers must treat cached artifacts
+// as immutable (every library path already does). The caches are unbounded
+// by default — appropriate for a fixed benchmark population; a service fed
+// unbounded distinct inline circuits or wide cycle sweeps should set
+// Options.MaxCachedFlows / MaxCachedMatrices, which evict settled entries
+// by random replacement once the bound is reached.
+//
+// # Cancellation
+//
+// Engine.Solve threads its context through every phase: ATPG fault
+// simulation, Detection Matrix row batches, and the exact covering solve.
+// A Solve cancelled before its covering phase returns the context's error;
+// a Solve cancelled during the covering phase returns the best cover found
+// so far with Optimal = false (the anytime contract). A caller abandoning
+// a shared in-flight computation does not poison it for the other waiters;
+// the underlying work is cancelled only when the last waiter is gone.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dmatrix"
+	"repro/internal/netlist"
+	"repro/internal/tpg"
+)
+
+// Options configures a new Engine.
+type Options struct {
+	// Parallelism is the default worker-pool degree for every phase of
+	// every request served by this Engine: ATPG fault simulation, matrix
+	// construction and the exact covering solve. 1 forces serial; 0 (and
+	// any negative value) means one worker per available processor.
+	// Requests may override it per call.
+	Parallelism int
+	// ATPG supplies the engine-wide defaults for the test-generation step
+	// (a zero Seed means 1, so an Engine is deterministic out of the box).
+	// Request.ATPGSeed overrides the seed per request; the other tuning
+	// fields are engine-wide because they are part of the flow cache key.
+	ATPG atpg.Options
+	// MaxCachedFlows / MaxCachedMatrices bound the artifact caches; 0 (the
+	// default) means unbounded — right for a fixed benchmark population,
+	// wrong for a service fed unbounded distinct inline circuits or cycle
+	// sweeps, which should set bounds to cap resident memory. Eviction is
+	// random replacement of settled entries; see internal/cache.
+	MaxCachedFlows    int
+	MaxCachedMatrices int
+}
+
+// Stats is a snapshot of an Engine's cache effectiveness counters.
+type Stats struct {
+	// PrepareBuilds counts ATPG preparations actually executed;
+	// PrepareHits counts requests served from the flow cache or a shared
+	// in-flight preparation.
+	PrepareBuilds int64 `json:"prepare_builds"`
+	PrepareHits   int64 `json:"prepare_hits"`
+	// MatrixBuilds / MatrixHits are the same split for Detection Matrices.
+	MatrixBuilds int64 `json:"matrix_builds"`
+	MatrixHits   int64 `json:"matrix_hits"`
+	// Solves counts covering solves performed (solves are never cached:
+	// they are cheap next to the artifacts and carry per-request budgets).
+	Solves int64 `json:"solves"`
+}
+
+// Engine is the long-lived front door of the reseeding flow. It is safe
+// for concurrent use by any number of goroutines; create one per process
+// (or per isolation domain) and share it.
+type Engine struct {
+	parallelism  int
+	atpgDefaults atpg.Options
+
+	flows    cache.Group[string, *core.Flow]
+	matrices cache.Group[matrixKey, *dmatrix.Matrix]
+
+	prepareBuilds atomic.Int64
+	prepareHits   atomic.Int64
+	matrixBuilds  atomic.Int64
+	matrixHits    atomic.Int64
+	solves        atomic.Int64
+}
+
+type matrixKey struct {
+	flow   string
+	kind   string
+	cycles int
+	seed   int64
+}
+
+// New returns an Engine with the given defaults.
+func New(opts Options) *Engine {
+	if opts.ATPG.Seed == 0 {
+		opts.ATPG.Seed = 1
+	}
+	e := &Engine{parallelism: opts.Parallelism, atpgDefaults: opts.ATPG}
+	e.flows.SetLimit(opts.MaxCachedFlows)
+	e.matrices.SetLimit(opts.MaxCachedMatrices)
+	return e
+}
+
+// fallbackCtx returns ctx when non-nil, else the first non-nil fallback
+// (the Context field of a v1 options struct — the facade's cancellation
+// channel), else nil, which every layer treats as "not cancellable".
+func fallbackCtx(ctx context.Context, fallbacks ...context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	for _, c := range fallbacks {
+		if c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		PrepareBuilds: e.prepareBuilds.Load(),
+		PrepareHits:   e.prepareHits.Load(),
+		MatrixBuilds:  e.matrixBuilds.Load(),
+		MatrixHits:    e.matrixHits.Load(),
+		Solves:        e.solves.Load(),
+	}
+}
+
+// Flush drops every cached flow and matrix. In-flight computations finish
+// for their current waiters but are not memoized.
+func (e *Engine) Flush() {
+	e.flows.Flush()
+	e.matrices.Flush()
+}
+
+// flowKeyFor derives the flow cache key: circuit identity plus the
+// normalized ATPG tuning fields. Parallelism and Context are excluded (see
+// the package documentation).
+func flowKeyFor(circuitID string, o atpg.Options) string {
+	o = o.WithDefaults()
+	return fmt.Sprintf("%s|atpg:seed=%d,rand=%d,stall=%d,bt=%d,skip=%t",
+		circuitID, o.Seed, o.MaxRandomPatterns, o.RandomStallBlocks,
+		o.BacktrackLimit, o.SkipCompaction)
+}
+
+// inlineID is the content-addressed identity of an inline .bench source.
+func inlineID(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return "inline:" + hex.EncodeToString(sum[:])
+}
+
+// flow fetches or computes the Flow for key. build constructs the circuit
+// and runs core.Prepare under the flight context it is given.
+func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
+	load func() (*netlist.Circuit, error)) (*core.Flow, bool, error) {
+
+	f, hit, err := e.flows.Do(ctx, key, func(fctx context.Context) (*core.Flow, error) {
+		c, err := load()
+		if err != nil {
+			return nil, err
+		}
+		o := atpgOpts
+		o.Context = fctx
+		if o.Parallelism == 0 {
+			o.Parallelism = e.parallelism
+		}
+		return core.Prepare(c, o)
+	})
+	if err != nil {
+		return nil, hit, fmt.Errorf("engine: prepare %s: %w", key, err)
+	}
+	if hit {
+		e.prepareHits.Add(1)
+	} else {
+		e.prepareBuilds.Add(1)
+	}
+	return f, hit, nil
+}
+
+// prepareNamed is the one derivation of a named benchmark's flow key and
+// loader, shared by PrepareNamed, Run and the Request path so identical
+// requests can never split the cache.
+func (e *Engine) prepareNamed(ctx context.Context, circuit string, opts atpg.Options) (string, *core.Flow, bool, error) {
+	opts = e.mergeATPG(opts)
+	key := flowKeyFor("bench:"+circuit, opts)
+	flow, hit, err := e.flow(ctx, key, opts,
+		func() (*netlist.Circuit, error) { return bench.ScanView(circuit) })
+	return key, flow, hit, err
+}
+
+// PrepareNamed fetches or computes the Flow of a built-in benchmark
+// circuit (full-scan view). The bool reports whether the result came from
+// the cache or a shared in-flight preparation. A nil ctx falls back to
+// opts.Context (the v1 facade's cancellation channel).
+func (e *Engine) PrepareNamed(ctx context.Context, circuit string, opts atpg.Options) (*core.Flow, bool, error) {
+	_, flow, hit, err := e.prepareNamed(fallbackCtx(ctx, opts.Context), circuit, opts)
+	return flow, hit, err
+}
+
+// PrepareCircuit fetches or computes the Flow of a caller-supplied
+// combinational circuit. The cache key is content-addressed (a hash of the
+// circuit's .bench rendering), so equal circuits share one preparation and
+// any structural change is a fresh key. A nil ctx falls back to
+// opts.Context.
+func (e *Engine) PrepareCircuit(ctx context.Context, c *netlist.Circuit, opts atpg.Options) (*core.Flow, bool, error) {
+	opts = e.mergeATPG(opts)
+	f, hit, err := e.flow(fallbackCtx(ctx, opts.Context), flowKeyFor(inlineID(netlist.Format(c)), opts), opts,
+		func() (*netlist.Circuit, error) { return c, nil })
+	return f, hit, err
+}
+
+// mergeATPG overlays per-call ATPG options on the engine defaults: zero
+// tuning fields inherit the engine-wide value (for the SkipCompaction
+// flag, false is the zero value, so an engine-wide true cannot be undone
+// per call). Every path into the flow cache merges the same way, so a
+// logically identical request always derives the same key.
+func (e *Engine) mergeATPG(o atpg.Options) atpg.Options {
+	d := e.atpgDefaults
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.MaxRandomPatterns == 0 {
+		o.MaxRandomPatterns = d.MaxRandomPatterns
+	}
+	if o.RandomStallBlocks == 0 {
+		o.RandomStallBlocks = d.RandomStallBlocks
+	}
+	if o.BacktrackLimit == 0 {
+		o.BacktrackLimit = d.BacktrackLimit
+	}
+	o.SkipCompaction = o.SkipCompaction || d.SkipCompaction
+	return o
+}
+
+// fillCore injects the request context and the engine's default
+// parallelism into solver options.
+func (e *Engine) fillCore(ctx context.Context, opts core.Options) core.Options {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = e.parallelism
+	}
+	opts.Context = ctx
+	// Exact inherits Parallelism/Context in core's withDefaults.
+	return opts
+}
+
+// SolveFlow computes a reseeding solution on a prepared Flow with an
+// arbitrary (possibly caller-defined) generator, threading the context
+// through matrix construction and the covering solve. Matrices are NOT
+// memoized on this path: a caller-supplied Generator is identified only by
+// its Name, which is too weak a key (two distinct generators may share
+// one). Use Solve or Run for the kind-addressed, fully cached path.
+func (e *Engine) SolveFlow(ctx context.Context, flow *core.Flow, gen tpg.Generator, opts core.Options) (*core.Solution, error) {
+	e.solves.Add(1)
+	return flow.Solve(gen, e.fillCore(fallbackCtx(ctx, opts.Context), opts))
+}
+
+// solveKind is the kind-addressed solve shared by Solve and Run: the
+// Detection Matrix is fetched from (or inserted into) the matrix cache,
+// then reduced and solved under the request's own budgets.
+func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
+	kind string, opts core.Options) (*core.Solution, bool, error) {
+
+	gen, err := tpg.ByName(kind, len(flow.Circuit.Inputs))
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %w", err)
+	}
+	opts = e.fillCore(ctx, opts)
+	cycles := opts.Cycles
+	if cycles == 0 {
+		cycles = core.DefaultCycles
+	}
+	mkey := matrixKey{flow: flowKey, kind: kind, cycles: cycles, seed: opts.Seed}
+	m, hit, err := e.matrices.Do(ctx, mkey, func(fctx context.Context) (*dmatrix.Matrix, error) {
+		o := opts
+		o.Context = fctx
+		return flow.BuildMatrix(gen, o)
+	})
+	if err != nil {
+		return nil, hit, fmt.Errorf("engine: matrix %s/%s/T=%d: %w", flowKey, kind, cycles, err)
+	}
+	if hit {
+		e.matrixHits.Add(1)
+	} else {
+		e.matrixBuilds.Add(1)
+	}
+	e.solves.Add(1)
+	sol, err := flow.SolveMatrix(m, gen, opts)
+	if err != nil {
+		return nil, hit, fmt.Errorf("engine: %w", err)
+	}
+	return sol, hit, nil
+}
+
+// Run is the structured-options counterpart of Solve: it serves the v1
+// facade's one-shot flow (named benchmark circuit, generator kind) from
+// the Engine's caches. Unlike Request it accepts the full ATPG and solver
+// option structs. A nil ctx falls back to the options' own Context fields.
+func (e *Engine) Run(ctx context.Context, circuit, kind string, atpgOpts atpg.Options, opts core.Options) (*core.Solution, error) {
+	ctx = fallbackCtx(ctx, atpgOpts.Context, opts.Context)
+	key, flow, _, err := e.prepareNamed(ctx, circuit, atpgOpts)
+	if err != nil {
+		return nil, err
+	}
+	sol, _, err := e.solveKind(ctx, key, flow, kind, opts)
+	return sol, err
+}
+
+// shortKey abbreviates the hash of an inline circuit id for display.
+func shortKey(key string) string {
+	if i := strings.Index(key, "inline:"); i >= 0 && len(key) > i+7+12 {
+		rest := key[i+7:]
+		if j := strings.IndexByte(rest, '|'); j > 12 {
+			return key[:i+7] + rest[:12] + "…" + rest[j:]
+		}
+	}
+	return key
+}

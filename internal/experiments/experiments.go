@@ -16,14 +16,15 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/atpg"
-	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gatsby"
 	"repro/internal/setcover"
 	"repro/internal/tpg"
@@ -59,6 +60,18 @@ type Config struct {
 	// covering solve (the anytime contract): a truncated solve keeps the
 	// best cover found so far and reports Optimal = false in Table 2.
 	SolveBudget time.Duration
+	// Context, when non-nil, cancels the run end to end: ATPG, matrix
+	// construction and the GA baseline abort with the context's error,
+	// while in-flight exact covering solves finish anytime-style
+	// (best-so-far, Optimal = false). Run returns the circuits completed
+	// before cancellation together with the error, so a driver can render
+	// partial tables.
+	Context context.Context
+	// Engine, when non-nil, supplies the artifact cache the flow runs on:
+	// ATPG preparations and Detection Matrices are shared across circuits,
+	// TPG kinds and repeated calls (Figure2 after Run re-uses the s1238
+	// preparation, for example). Nil uses a private engine per call.
+	Engine *engine.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cycles == 0 {
 		c.Cycles = 64
+	}
+	if c.Engine == nil {
+		c.Engine = engine.New(engine.Options{Parallelism: c.Parallelism})
 	}
 	return c
 }
@@ -99,27 +115,27 @@ type CircuitResult struct {
 }
 
 // Run executes the flow for every configured circuit and TPG. It is the
-// shared driver behind Table 1 and Table 2.
+// shared driver behind Table 1 and Table 2. When the configured Context is
+// cancelled mid-run, Run returns the circuits completed so far together
+// with the cancellation error.
 func Run(cfg Config) ([]*CircuitResult, error) {
 	cfg = cfg.withDefaults()
 	var out []*CircuitResult
 	for _, name := range cfg.Circuits {
 		cr, err := RunCircuit(name, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+			return out, fmt.Errorf("experiments: %s: %w", name, err)
 		}
 		out = append(out, cr)
 	}
 	return out, nil
 }
 
-// RunCircuit executes the flow for one circuit across all TPG kinds.
+// RunCircuit executes the flow for one circuit across all TPG kinds, on
+// the configured Engine's artifact caches.
 func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 	cfg = cfg.withDefaults()
-	scan, err := bench.ScanView(name)
-	if err != nil {
-		return nil, err
-	}
+	ctx := cfg.Context
 	atpgOpts := cfg.ATPG
 	if atpgOpts.Seed == 0 {
 		atpgOpts.Seed = cfg.Seed + 1
@@ -127,10 +143,11 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 	if atpgOpts.Parallelism == 0 {
 		atpgOpts.Parallelism = cfg.Parallelism
 	}
-	flow, err := core.Prepare(scan, atpgOpts)
+	flow, _, err := cfg.Engine.PrepareNamed(ctx, name, atpgOpts)
 	if err != nil {
 		return nil, err
 	}
+	scan := flow.Circuit
 	cr := &CircuitResult{
 		Circuit:    name,
 		ScanInputs: len(scan.Inputs),
@@ -139,11 +156,7 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 		ByTPG:      make(map[string]*TPGResult),
 	}
 	for _, kind := range TPGKinds {
-		gen, err := tpg.ByName(kind, len(scan.Inputs))
-		if err != nil {
-			return nil, err
-		}
-		sol, err := flow.Solve(gen, core.Options{
+		sol, err := cfg.Engine.Run(ctx, name, kind, atpgOpts, core.Options{
 			Cycles:      cfg.Cycles,
 			Seed:        cfg.Seed + 2,
 			Parallelism: cfg.Parallelism,
@@ -154,8 +167,13 @@ func RunCircuit(name string, cfg Config) (*CircuitResult, error) {
 		}
 		tr := &TPGResult{Solution: sol}
 		if cfg.WithGatsby {
+			gen, err := tpg.ByName(kind, len(scan.Inputs))
+			if err != nil {
+				return nil, err
+			}
 			gcfg := cfg.Gatsby
 			gcfg.Seed = cfg.Seed + 3
+			gcfg.Context = ctx
 			if gcfg.Parallelism == 0 {
 				gcfg.Parallelism = cfg.Parallelism
 			}
@@ -192,15 +210,13 @@ func Figure2(cfg Config) ([]Figure2Point, error) {
 }
 
 // Tradeoff computes a reseedings-vs-test-length curve for any circuit and
-// TPG kind. A nil cyclesList selects a geometric sweep 1..1024.
+// TPG kind. A nil cyclesList selects a geometric sweep 1..1024. Each point
+// is one Engine solve, so the preparation is shared with any earlier run
+// on the same Engine and every point's matrix lands in the cache.
 func Tradeoff(circuit, kind string, cyclesList []int, cfg Config) ([]Figure2Point, error) {
 	cfg = cfg.withDefaults()
 	if cyclesList == nil {
 		cyclesList = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	}
-	scan, err := bench.ScanView(circuit)
-	if err != nil {
-		return nil, err
 	}
 	atpgOpts := cfg.ATPG
 	if atpgOpts.Seed == 0 {
@@ -209,21 +225,22 @@ func Tradeoff(circuit, kind string, cyclesList []int, cfg Config) ([]Figure2Poin
 	if atpgOpts.Parallelism == 0 {
 		atpgOpts.Parallelism = cfg.Parallelism
 	}
-	flow, err := core.Prepare(scan, atpgOpts)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := tpg.ByName(kind, len(scan.Inputs))
-	if err != nil {
-		return nil, err
-	}
-	points, err := flow.Tradeoff(gen, cyclesList, core.Options{
-		Seed:        cfg.Seed + 2,
-		Parallelism: cfg.Parallelism,
-		Exact:       setcover.ExactOptions{TimeBudget: cfg.SolveBudget},
-	})
-	if err != nil {
-		return nil, err
+	var points []Figure2Point
+	for _, t := range cyclesList {
+		sol, err := cfg.Engine.Run(cfg.Context, circuit, kind, atpgOpts, core.Options{
+			Cycles:      t,
+			Seed:        cfg.Seed + 2,
+			Parallelism: cfg.Parallelism,
+			Exact:       setcover.ExactOptions{TimeBudget: cfg.SolveBudget},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tradeoff at T=%d: %w", t, err)
+		}
+		points = append(points, Figure2Point{
+			Cycles:     t,
+			Triplets:   sol.NumTriplets(),
+			TestLength: sol.TestLength,
+		})
 	}
 	// Present the curve as the paper does: test length on the X axis,
 	// reseedings on Y, sorted by test length.

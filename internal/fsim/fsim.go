@@ -29,13 +29,22 @@
 // goroutine performs it, and GateEvals is a sum of per-worker counters,
 // which is order-independent. The fsim and dmatrix test suites assert this
 // equivalence on the benchmark circuits.
+//
+// # Cancellation
+//
+// Options.Context makes a run cancellable: the context is checked once per
+// 64-pattern block — the grain at which the simulator commits work — and a
+// cancelled run returns the context's error wrapped, with no partial
+// Result.
 package fsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxutil"
 	"repro/internal/fault"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
@@ -57,6 +66,10 @@ type Options struct {
 	// The Result is bit-identical for every value — see the package
 	// documentation for the determinism guarantee.
 	Parallelism int
+	// Context, when non-nil, cancels the run: Run checks it between
+	// 64-pattern blocks and returns the context's error. A run that
+	// completes before cancellation is unaffected.
+	Context context.Context
 }
 
 // Result reports the outcome of a fault simulation run.
@@ -182,6 +195,9 @@ func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Opt
 	}
 
 	for base := 0; base < len(patterns); base += 64 {
+		if err := ctxutil.Err(opts.Context); err != nil {
+			return nil, fmt.Errorf("fsim: %w", err)
+		}
 		end := base + 64
 		if end > len(patterns) {
 			end = len(patterns)

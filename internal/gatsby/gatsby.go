@@ -14,11 +14,13 @@
 package gatsby
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bitvec"
+	"repro/internal/ctxutil"
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/netlist"
@@ -57,6 +59,11 @@ type Config struct {
 	// means one worker per available processor. The search itself is
 	// sequential, so the result is bit-identical for any value.
 	Parallelism int
+	// Context, when non-nil, cancels the search: it is checked before every
+	// fitness evaluation (each one a full test-set fault simulation). A
+	// cancelled run returns the context's error — the GA has no meaningful
+	// partial solution, matching the tool it models.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +144,9 @@ func Run(c *netlist.Circuit, faults []fault.Fault, gen tpg.Generator, cfg Config
 	}
 
 	evaluate := func(ind *individual) error {
+		if err := ctxutil.Err(cfg.Context); err != nil {
+			return err
+		}
 		ts, err := tpg.Expand(gen, tpg.Triplet{Delta: ind.delta, Theta: ind.theta, Cycles: cfg.Cycles})
 		if err != nil {
 			return err
@@ -145,7 +155,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, gen tpg.Generator, cfg Config
 		for i, fi := range remaining {
 			sub[i] = faults[fi]
 		}
-		fres, err := sim.Run(sub, ts, fsim.Options{DropDetected: true, Parallelism: cfg.Parallelism})
+		fres, err := sim.Run(sub, ts, fsim.Options{DropDetected: true, Parallelism: cfg.Parallelism, Context: cfg.Context})
 		if err != nil {
 			return err
 		}
@@ -209,7 +219,7 @@ func Run(c *netlist.Circuit, faults []fault.Fault, gen tpg.Generator, cfg Config
 		for i, fi := range remaining {
 			sub[i] = faults[fi]
 		}
-		fres, err := sim.Run(sub, ts, fsim.Options{DropDetected: true, Parallelism: cfg.Parallelism})
+		fres, err := sim.Run(sub, ts, fsim.Options{DropDetected: true, Parallelism: cfg.Parallelism, Context: cfg.Context})
 		if err != nil {
 			return nil, fmt.Errorf("gatsby: %w", err)
 		}

@@ -23,6 +23,35 @@
 // Detection Matrix for one generator, reduces it by essentiality and
 // dominance, and solves the residual covering problem exactly.
 //
+// # The Engine (v2 API)
+//
+// Services answering many reseeding queries use a long-lived Engine
+// instead of the one-shot flow above. An Engine memoizes Prepare artifacts
+// per circuit and Detection Matrices per (circuit, generator kind,
+// evolution length, seed), deduplicates concurrent identical requests
+// (singleflight: N goroutines asking for the same circuit run exactly one
+// ATPG), and answers plain, JSON-serializable Requests:
+//
+//	eng := reseeding.NewEngine(reseeding.EngineOptions{})
+//	resp, _ := eng.Solve(ctx, reseeding.Request{
+//	        Circuit: "s1238", TPG: "adder", Cycles: 64, Seed: 2,
+//	})
+//	fmt.Println(resp.Solution.NumTriplets(), resp.MatrixCached)
+//
+// The context threads through every phase — ATPG fault simulation, matrix
+// row batches, and the exact covering solve — so cancellation and
+// deadlines propagate end to end: a Solve cancelled during the covering
+// phase returns the best cover found so far (Optimal = false,
+// Response.Interrupted = true), one cancelled earlier returns the
+// context's error. See internal/engine for the cache keying and
+// invalidation rules.
+//
+// The v1 entry points (Prepare, Run) remain as thin wrappers over a
+// package-default Engine: existing callers compile unchanged and now share
+// its artifact caches. Flow.Solve is unchanged and cache-free; pair it
+// with Engine.SolveFlow to run caller-defined generators with engine
+// cancellation.
+//
 // # Parallelism
 //
 // The hot paths of Solve — grading every candidate (δ, θ, T) triplet
@@ -49,11 +78,13 @@
 package reseeding
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/gatsby"
@@ -156,10 +187,22 @@ func OpenBenchmark(name string) (*Circuit, error) { return bench.Named(name) }
 func ScanView(name string) (*Circuit, error) { return bench.ScanView(name) }
 
 // Faults returns the collapsed stuck-at fault list of a combinational
-// circuit.
+// circuit. Use FaultsWithStats to also obtain the collapsing statistics.
 func Faults(c *Circuit) ([]Fault, error) {
 	list, _, err := fault.List(c)
 	return list, err
+}
+
+// FaultStats reports the effect of structural equivalence collapsing:
+// total faults before collapsing, representatives kept, class count and
+// the largest class.
+type FaultStats = fault.CollapseStats
+
+// FaultsWithStats returns the collapsed stuck-at fault list of a
+// combinational circuit together with the collapsing statistics that
+// Faults discards.
+func FaultsWithStats(c *Circuit) ([]Fault, FaultStats, error) {
+	return fault.List(c)
 }
 
 // NewTPG constructs a generator by kind: "adder", "subtracter",
@@ -169,21 +212,70 @@ func NewTPG(kind string, width int) (Generator, error) { return tpg.ByName(kind,
 // TPGKinds lists the generator kinds accepted by NewTPG.
 func TPGKinds() []string { return tpg.Kinds() }
 
+// Engine is the long-lived, concurrency-safe front door of the reseeding
+// flow: it memoizes Prepare artifacts and Detection Matrices with
+// singleflight deduplication and answers serializable Requests. See
+// internal/engine for the cache keying and invalidation rules.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine: the default worker-pool degree and
+// the engine-wide ATPG tuning (which is part of the flow cache key).
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of an Engine's cache counters.
+type EngineStats = engine.Stats
+
+// Request is one serializable reseeding query answered by Engine.Solve:
+// circuit name or inline .bench source, TPG kind, cycles, seeds, solver,
+// objective and budgets, all plain JSON-taggable values.
+type Request = engine.Request
+
+// Response is the serializable outcome of Engine.Solve: the Solution plus
+// the resolved circuit, the ATPG summary and cache observability fields.
+type Response = engine.Response
+
+// NewEngine returns an Engine with the given defaults.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// defaultEngine backs the v1 entry points, so they share one process-wide
+// artifact cache.
+var defaultEngine = engine.New(engine.Options{})
+
+// DefaultEngine returns the package-default Engine the v1 wrappers
+// (Prepare, Run) are served by. Flush it to drop their caches.
+func DefaultEngine() *Engine { return defaultEngine }
+
 // Prepare enumerates faults and runs the ATPG on a combinational circuit,
 // producing the Flow whose Solve method computes reseeding solutions.
-func Prepare(c *Circuit, opts ATPGOptions) (*Flow, error) { return core.Prepare(c, opts) }
+//
+// Since the v2 redesign, Prepare is a thin wrapper over the package
+// default Engine: the result is memoized per (circuit content, ATPG
+// options) and shared — treat the returned Flow as immutable. A non-nil
+// ATPGOptions.Context cancels the preparation (cancellation of a shared
+// in-flight preparation only takes effect when its last waiter is gone).
+func Prepare(c *Circuit, opts ATPGOptions) (*Flow, error) {
+	f, _, err := defaultEngine.PrepareCircuit(orBackground(opts.Context), c, opts)
+	return f, err
+}
 
-// Run is the one-shot convenience flow on a named benchmark circuit.
+// Run is the one-shot convenience flow on a named benchmark circuit. It is
+// a thin wrapper over the package-default Engine, so repeated runs share
+// cached ATPG preparations and Detection Matrices. The Context fields of
+// either options struct cancel the run end to end.
 func Run(circuit, tpgKind string, atpgOpts ATPGOptions, opts Options) (*Solution, error) {
-	scan, err := bench.ScanView(circuit)
-	if err != nil {
-		return nil, err
+	ctx := orBackground(atpgOpts.Context)
+	if atpgOpts.Context == nil && opts.Context != nil {
+		ctx = opts.Context
 	}
-	gen, err := tpg.ByName(tpgKind, len(scan.Inputs))
-	if err != nil {
-		return nil, err
+	return defaultEngine.Run(ctx, circuit, tpgKind, atpgOpts, opts)
+}
+
+// orBackground substitutes the non-cancellable background context for nil.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
 	}
-	return core.Run(scan, gen, atpgOpts, opts)
+	return ctx
 }
 
 // RunGatsby runs the genetic-algorithm baseline on the same target fault
