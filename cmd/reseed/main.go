@@ -9,7 +9,11 @@
 //	reseed -circuit s1238 -solve-budget 2s   # anytime covering solve
 //
 // The command is a thin client of the reseeding Engine: the flags are
-// packed into a single reseeding.Request and answered by Engine.Solve.
+// packed into a single reseeding.Request and answered by Engine.Solve, and
+// -json writes the Engine's full Response — the same JSON document the
+// reseedd HTTP API answers for the same Request. An invalid request (the
+// typed RequestError rejections shared with the HTTP 400 mapping) exits
+// with status 2 before any work starts.
 // SIGINT/SIGTERM cancel the request context; an interrupt during the
 // covering solve prints the best solution found so far (optimal=false,
 // the anytime contract) instead of dying mid-solve, while an interrupt
@@ -25,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,7 +51,8 @@ func main() {
 		solver  = flag.String("solver", "exact", "covering solver: exact, greedy, greedy-noreduce")
 		objectv = flag.String("objective", "triplets", "minimize: triplets (ROM area) or testlength")
 		noTrim  = flag.Bool("notrim", false, "keep full-length triplets (skip trailing-pattern deletion)")
-		jsonOut = flag.String("json", "", "also write the solution as JSON to this file")
+		jsonOut = flag.String("json", "",
+			"also write the full Engine Response (solution, circuit/ATPG summaries, cache and interrupt flags) as JSON to this file")
 		verbose = flag.Bool("v", false, "print every selected triplet")
 		jobs    = flag.Int("j", 0,
 			"worker goroutines for fault simulation, matrix construction and the covering solve (0 = all processors)")
@@ -79,6 +85,13 @@ func main() {
 		req.Circuit, req.Bench = "", string(src)
 	}
 
+	// Fail fast on a malformed request — the same typed checks the reseedd
+	// HTTP API maps to 400 — before announcing any work.
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "reseed:", err)
+		os.Exit(2)
+	}
+
 	target := *circuit
 	if *file != "" {
 		target = *file
@@ -89,6 +102,13 @@ func main() {
 	eng := reseeding.NewEngine(reseeding.EngineOptions{Parallelism: *jobs})
 	resp, err := eng.Solve(ctx, req)
 	if err != nil {
+		var reqErr *reseeding.RequestError
+		if errors.As(err, &reqErr) {
+			// The same typed rejection the reseedd HTTP API maps to 400:
+			// the request is wrong, nothing was attempted.
+			fmt.Fprintln(os.Stderr, "reseed:", err)
+			os.Exit(2)
+		}
 		if errors.Is(err, context.Canceled) {
 			fail(fmt.Errorf("interrupted before a solution existed: %w", err))
 		}
@@ -103,11 +123,16 @@ func main() {
 		100*resp.ATPG.Coverage, resp.ATPG.Untestable, resp.ATPG.Aborted)
 
 	if *jsonOut != "" {
+		// The full Response, not just the Solution, so the CLI's JSON
+		// output is exactly what the reseedd HTTP API would answer for the
+		// same Request (cache-hit flags, Interrupted, summaries).
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fail(err)
 		}
-		if err := sol.WriteJSON(f); err != nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
 			fail(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,160 @@
+// Service client: boot a reseedd-style HTTP service in-process on an
+// ephemeral port, then drive it the way a remote client would — a
+// synchronous solve, a batch, and an asynchronous anytime job polled to
+// completion — all over plain JSON.
+//
+// The server side is three lines (engine, server.New, http.Serve); the
+// rest of the program is the client's view: every payload here could as
+// well travel to a daemon on another machine (see cmd/reseedd and
+// docs/API.md).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	reseeding "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	// Server side: an Engine behind the HTTP API, on an ephemeral port.
+	eng := reseeding.NewEngine(reseeding.EngineOptions{})
+	srv := server.New(eng, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service up (ephemeral port)")
+
+	// Client side. 1: a synchronous solve.
+	var resp reseeding.Response
+	postJSON(base+"/v1/solve", reseeding.Request{
+		Circuit: "s420", TPG: "adder", Cycles: 64, Seed: 2,
+	}, &resp)
+	fmt.Printf("solve: %s via %s: %d triplets, test length %d, optimal=%v\n",
+		resp.Circuit.Name, resp.Solution.Generator,
+		resp.Solution.NumTriplets(), resp.Solution.TestLength, resp.Solution.Optimal)
+
+	// 2: a batch — four generator kinds for the same UUT, fanned out on the
+	// server's worker pool. The ATPG preparation is shared; each kind gets
+	// its own Detection Matrix.
+	var batch struct {
+		Results []struct {
+			Response *reseeding.Response `json:"response"`
+			Error    string              `json:"error"`
+		} `json:"results"`
+	}
+	var reqs struct {
+		Requests []reseeding.Request `json:"requests"`
+	}
+	for _, kind := range reseeding.TPGKinds() {
+		reqs.Requests = append(reqs.Requests,
+			reseeding.Request{Circuit: "s420", TPG: kind, Cycles: 64, Seed: 2})
+	}
+	postJSON(base+"/v1/batch", reqs, &batch)
+	fmt.Println("batch over every TPG kind:")
+	for i, r := range batch.Results {
+		if r.Error != "" {
+			fmt.Printf("  %-10s error: %s\n", reqs.Requests[i].TPG, r.Error)
+			continue
+		}
+		fmt.Printf("  %-10s %2d triplets, test length %3d (prepare cached=%v)\n",
+			reqs.Requests[i].TPG, r.Response.Solution.NumTriplets(),
+			r.Response.Solution.TestLength, r.Response.PrepareCached)
+	}
+
+	// 3: an asynchronous job. The covering solve is anytime: while it
+	// runs, GET /v1/jobs/{id} reports the best cover found so far, and
+	// DELETE would stop it while keeping that incumbent.
+	var created struct {
+		ID string `json:"id"`
+	}
+	postJSON(base+"/v1/jobs", reseeding.Request{
+		Circuit: "s820", TPG: "adder", Cycles: 64, Seed: 2,
+	}, &created)
+	fmt.Printf("job %s accepted\n", created.ID)
+	for {
+		var job struct {
+			State    string               `json:"state"`
+			Best     *reseeding.Incumbent `json:"best"`
+			Response *reseeding.Response  `json:"response"`
+			Error    string               `json:"error"`
+		}
+		getJSON(base+"/v1/jobs/"+created.ID, &job)
+		switch job.State {
+		case "done":
+			fmt.Printf("job done: %d triplets (last incumbent snapshot: cost %d at node %d)\n",
+				job.Response.Solution.NumTriplets(), job.Best.Cost, job.Best.Nodes)
+		case "failed", "cancelled":
+			log.Fatalf("job %s: %s", job.State, job.Error)
+		default:
+			if job.Best != nil {
+				fmt.Printf("  ...%s, best so far: %d triplets\n", job.State, job.Best.Rows)
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		break
+	}
+
+	// Shut the service down gracefully, as SIGTERM would.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service drained")
+}
+
+// postJSON POSTs v and decodes the JSON answer into out, failing loudly on
+// any non-2xx status — example-grade error handling.
+func postJSON(url string, v, out any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

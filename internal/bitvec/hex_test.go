@@ -1,0 +1,101 @@
+package bitvec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Hex and FromHex are the persistence codec of internal/store: every
+// random vector must survive a round trip at every awkward width.
+func TestVectorHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{0, 1, 3, 4, 5, 63, 64, 65, 128, 130} {
+		for trial := 0; trial < 20; trial++ {
+			v := Random(width, rng)
+			got, err := FromHex(width, v.Hex())
+			if err != nil {
+				t.Fatalf("width %d: %v", width, err)
+			}
+			if !got.Equal(v) {
+				t.Errorf("width %d: round trip changed %s to %s", width, v.Hex(), got.Hex())
+			}
+		}
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	if _, err := FromHex(4, "zz"); err == nil {
+		t.Error("invalid digit accepted")
+	}
+	// A set bit at or beyond the width must be an error, not a silent
+	// truncation.
+	if _, err := FromHex(4, "ff"); err == nil {
+		t.Error("overflowing value accepted")
+	}
+	if _, err := FromHex(2, "4"); err == nil {
+		t.Error("bit at index 2 accepted for width 2")
+	}
+	// Leading zero digits beyond the width are harmless.
+	v, err := FromHex(4, "000f")
+	if err != nil || v.OnesCount() != 4 {
+		t.Errorf("leading zeros rejected: %v, %v", v, err)
+	}
+	// Uppercase digits parse.
+	u, err := FromHex(8, "AB")
+	if err != nil || u.Hex() != "ab" {
+		t.Errorf("uppercase parse: got %q, %v", u.Hex(), err)
+	}
+}
+
+func TestSetHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 5, 64, 65, 200} {
+		for trial := 0; trial < 20; trial++ {
+			s := NewSet(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 1 {
+					s.Add(i)
+				}
+			}
+			got, err := SetFromHex(n, s.Hex())
+			if err != nil {
+				t.Fatalf("universe %d: %v", n, err)
+			}
+			if !got.Equal(s) {
+				t.Errorf("universe %d: round trip changed the set", n)
+			}
+			// A rebuilt set must stay fully operational (word count
+			// matches the universe).
+			got.Or(s)
+			if !got.Equal(s) {
+				t.Errorf("universe %d: rebuilt set broken after Or", n)
+			}
+		}
+	}
+	if _, err := SetFromHex(4, "ff"); err == nil {
+		t.Error("element beyond the universe accepted")
+	}
+}
+
+// The empty string is the width-0 encoding, and the all-ones pattern pins
+// the digit order (most significant first).
+func TestHexConventions(t *testing.T) {
+	if got := New(0).Hex(); got != "" {
+		t.Errorf("width-0 hex = %q", got)
+	}
+	v := MustFromString("100110")
+	if got := v.Hex(); got != "26" {
+		t.Errorf("hex of 100110 = %q, want \"26\"", got)
+	}
+	s := NewSet(6)
+	s.Add(1)
+	s.Add(2)
+	s.Add(5)
+	if got := s.Hex(); got != "26" {
+		t.Errorf("set hex = %q, want \"26\"", got)
+	}
+	if got := strings.ToLower(New(9).Hex()); got != "000" {
+		t.Errorf("zero width-9 hex = %q, want \"000\"", got)
+	}
+}

@@ -216,6 +216,23 @@ func (s *Set) FirstNotIn(o *Set) int {
 	return -1
 }
 
+// Hex renders the set as a hexadecimal string over its universe — the same
+// most-significant-digit-first encoding Vector.Hex uses (element i is bit i).
+// It is the stable on-disk form of Detection Matrix rows (internal/store).
+func (s *Set) Hex() string {
+	return hexString(s.n, s.words)
+}
+
+// SetFromHex parses a set over a universe of size n from its Hex rendering.
+// An element at or beyond n is an error, mirroring FromHex.
+func SetFromHex(n int, str string) (*Set, error) {
+	v, err := FromHex(n, str)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{n: n, words: v.limbs}, nil
+}
+
 // Hash returns a 64-bit FNV-1a style hash of the set contents, used to group
 // identical rows or columns before dominance checks.
 func (s *Set) Hash() uint64 {

@@ -215,16 +215,57 @@ func (v Vector) String() string {
 // Hex renders v as a hexadecimal string, most significant digit first, with
 // enough digits to cover the width.
 func (v Vector) Hex() string {
-	if v.width == 0 {
+	return hexString(v.width, v.limbs)
+}
+
+// hexString is the shared Hex rendering of Vector and Set: width bits from
+// 64-bit words, least significant word first, as ceil(width/4) lowercase
+// digits.
+func hexString(width int, words []uint64) string {
+	if width == 0 {
 		return ""
 	}
-	digits := (v.width + 3) / 4
+	digits := (width + 3) / 4
 	var b strings.Builder
 	for i := digits - 1; i >= 0; i-- {
-		nibble := v.limbs[i/16] >> (uint(i%16) * 4) & 0xf
+		nibble := words[i/16] >> (uint(i%16) * 4) & 0xf
 		b.WriteByte("0123456789abcdef"[nibble])
 	}
 	return b.String()
+}
+
+// FromHex parses a hexadecimal string written most-significant-digit first —
+// the Hex rendering — into a vector of the given width. Upper- and lowercase
+// digits are accepted, the string may be shorter or longer than the width
+// needs, and a set bit at or beyond width is an error rather than silently
+// dropped, so a persisted vector can never be truncated unnoticed.
+func FromHex(width int, s string) (Vector, error) {
+	v := New(width)
+	for i := 0; i < len(s); i++ {
+		c := s[len(s)-1-i]
+		var nibble uint64
+		switch {
+		case c >= '0' && c <= '9':
+			nibble = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			nibble = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			nibble = uint64(c-'A') + 10
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid hex digit %q", c)
+		}
+		for b := 0; b < 4; b++ {
+			if nibble>>uint(b)&1 == 0 {
+				continue
+			}
+			bit := 4*i + b
+			if bit >= width {
+				return Vector{}, fmt.Errorf("bitvec: hex value wider than %d bits", width)
+			}
+			v.SetBit(bit, true)
+		}
+	}
+	return v, nil
 }
 
 func checkSameWidth(op string, a, b Vector) {

@@ -210,3 +210,176 @@ func TestLimitEvictsSettledEntries(t *testing.T) {
 		}
 	}
 }
+
+// An in-flight computation must survive limit eviction: only settled
+// entries are replacement candidates, so a slow flight keeps its waiters
+// and its memoized result even while faster keys churn the cache past its
+// bound.
+func TestLimitNeverEvictsInFlight(t *testing.T) {
+	var g Group[int, int]
+	g.SetLimit(1)
+
+	const slowKey = 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var slowComputes atomic.Int32
+	slowErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), slowKey, func(context.Context) (int, error) {
+			slowComputes.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		slowErr <- err
+	}()
+	<-started
+
+	// Churn other keys through the full cache: each leader runs eviction.
+	for k := 1; k <= 8; k++ {
+		if _, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+			return k, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A caller joining now must share the original flight, not start a
+	// second computation.
+	joined := make(chan error, 1)
+	go func() {
+		v, shared, err := g.Do(context.Background(), slowKey, func(context.Context) (int, error) {
+			slowComputes.Add(1)
+			return -1, nil
+		})
+		if err == nil && (!shared || v != 42) {
+			err = errors.New("joiner did not share the in-flight computation")
+		}
+		joined <- err
+	}()
+
+	close(release)
+	if err := <-slowErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-joined; err != nil {
+		t.Fatal(err)
+	}
+	if n := slowComputes.Load(); n != 1 {
+		t.Fatalf("slow key computed %d times, want 1", n)
+	}
+}
+
+// The limit-eviction path must stay correct under concurrent Do and Flush:
+// every caller always receives its key's value (recomputed or cached,
+// never another key's), with no deadlock and no race (CI runs this under
+// -race).
+func TestLimitEvictionConcurrentDoFlush(t *testing.T) {
+	var g Group[int, int]
+	g.SetLimit(4)
+
+	const (
+		workers = 8
+		rounds  = 200
+		keys    = 16
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w + i) % keys
+				v, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+					return k * 10, nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != k*10 {
+					errs <- errors.New("wrong value for key")
+					return
+				}
+				if i%17 == 0 {
+					g.Flush()
+				}
+				if i%29 == 0 {
+					g.Forget(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After a final flush, the group is empty and still serviceable.
+	g.Flush()
+	if g.Len() != 0 {
+		t.Errorf("Len = %d after Flush", g.Len())
+	}
+	if v, _, err := g.Do(context.Background(), 3, func(context.Context) (int, error) {
+		return 30, nil
+	}); err != nil || v != 30 {
+		t.Fatalf("group broken after stress: (%d, %v)", v, err)
+	}
+}
+
+// Eviction pressure with waiters attached: several goroutines wait on slow
+// flights while settled entries are evicted around them; every waiter gets
+// its own flight's value.
+func TestLimitEvictionWithConcurrentWaiters(t *testing.T) {
+	var g Group[int, int]
+	g.SetLimit(2)
+
+	const slowKeys = 3
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(slowKeys)
+	var wg sync.WaitGroup
+	errs := make(chan error, slowKeys*3)
+	for k := 0; k < slowKeys; k++ {
+		// One leader plus two joiners per slow key.
+		for c := 0; c < 3; c++ {
+			wg.Add(1)
+			go func(k, c int) {
+				defer wg.Done()
+				v, _, err := g.Do(context.Background(), 100+k, func(context.Context) (int, error) {
+					started.Done()
+					<-release
+					return 100 + k, nil
+				})
+				if err != nil {
+					errs <- err
+				} else if v != 100+k {
+					errs <- errors.New("waiter got another key's value")
+				}
+			}(k, c)
+			if c == 0 {
+				// Let the leader install its flight before the joiners and
+				// the churn below, so all three slow flights coexist beyond
+				// the limit of 2.
+				if k == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+	}
+	started.Wait() // all slow flights in place: cache is over its limit
+	for k := 1; k <= 6; k++ {
+		if _, _, err := g.Do(context.Background(), k, func(context.Context) (int, error) {
+			return k, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

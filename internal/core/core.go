@@ -161,11 +161,21 @@ func Prepare(c *netlist.Circuit, opts atpg.Options) (*Flow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return NewFlow(c, all, res), nil
+}
+
+// NewFlow assembles a Flow from already-computed artifacts — the circuit,
+// its collapsed fault list and a finished ATPG result — deriving the target
+// fault list exactly as Prepare does. It is the re-entry point for persisted
+// preparations (internal/store): a Flow rebuilt from parts behaves
+// identically to the one Prepare computed, including the order of
+// TargetFaults, which fixes the Detection Matrix's column order.
+func NewFlow(c *netlist.Circuit, all []fault.Fault, res *atpg.Result) *Flow {
 	f := &Flow{Circuit: c, AllFaults: all, ATPG: res, Patterns: res.Patterns}
 	for _, fi := range res.DetectedFaults() {
 		f.TargetFaults = append(f.TargetFaults, all[fi])
 	}
-	return f, nil
+	return f
 }
 
 // SelectedTriplet is one reseeding of the final solution.
@@ -344,7 +354,8 @@ func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (
 			var sub setcover.Solution
 			var err error
 			if opts.Solver == SolverExact {
-				sub, err = red.Residual.SolveExact(opts.Exact)
+				sub, err = red.Residual.SolveExact(
+					opts.Exact.WithIncumbentOffset(len(red.Essential), len(red.Essential)))
 			} else {
 				sub, err = red.Residual.SolveGreedy()
 			}

@@ -140,11 +140,11 @@ func decodeSolution(in solutionJSON) (*Solution, error) {
 		TripletSims:    in.TripletSims,
 	}
 	for i, t := range in.Triplets {
-		delta, err := parseHex(t.Delta, in.Width)
+		delta, err := bitvec.FromHex(in.Width, t.Delta)
 		if err != nil {
 			return nil, fmt.Errorf("core: triplet %d delta: %w", i, err)
 		}
-		theta, err := parseHex(t.Theta, in.Width)
+		theta, err := bitvec.FromHex(in.Width, t.Theta)
 		if err != nil {
 			return nil, fmt.Errorf("core: triplet %d theta: %w", i, err)
 		}
@@ -164,35 +164,4 @@ func decodeSolution(in solutionJSON) (*Solution, error) {
 		}
 	}
 	return s, nil
-}
-
-func parseHex(s string, width int) (bitvec.Vector, error) {
-	v := bitvec.New(width)
-	for i := 0; i < len(s); i++ {
-		c := s[len(s)-1-i]
-		var nibble uint64
-		switch {
-		case c >= '0' && c <= '9':
-			nibble = uint64(c - '0')
-		case c >= 'a' && c <= 'f':
-			nibble = uint64(c-'a') + 10
-		case c >= 'A' && c <= 'F':
-			nibble = uint64(c-'A') + 10
-		default:
-			return bitvec.Vector{}, fmt.Errorf("invalid hex digit %q", c)
-		}
-		for b := 0; b < 4; b++ {
-			bit := 4*i + b
-			if bit >= width {
-				if nibble>>uint(b)&1 == 1 {
-					return bitvec.Vector{}, fmt.Errorf("hex value wider than %d bits", width)
-				}
-				continue
-			}
-			if nibble>>uint(b)&1 == 1 {
-				v.SetBit(bit, true)
-			}
-		}
-	}
-	return v, nil
 }

@@ -81,21 +81,3 @@ func TestReadSolutionJSONErrors(t *testing.T) {
 		t.Error("invalid hex digit accepted")
 	}
 }
-
-func TestParseHexRoundTrip(t *testing.T) {
-	for _, width := range []int{1, 4, 5, 64, 65, 130} {
-		v, err := parseHex(strings.Repeat("a", (width+3)/4), width)
-		if err != nil {
-			// Widths not divisible by 4 can overflow with 'a' nibbles; the
-			// error path is legitimate there.
-			continue
-		}
-		got, err := parseHex(v.Hex(), width)
-		if err != nil {
-			t.Fatalf("width %d: %v", width, err)
-		}
-		if !got.Equal(v) {
-			t.Errorf("width %d: hex round trip changed value", width)
-		}
-	}
-}

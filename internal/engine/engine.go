@@ -43,6 +43,19 @@
 // Options.MaxCachedFlows / MaxCachedMatrices, which evict settled entries
 // by random replacement once the bound is reached.
 //
+// # Persistence
+//
+// Options.Store plugs a second cache level underneath the in-memory maps:
+// every computed artifact is also persisted (internal/store implements the
+// on-disk form) and a miss consults the store before recomputing, so a
+// restarted process answers its first request without re-running ATPG.
+// Store keys are the same cache keys, so the keying discipline — and the
+// absence of an invalidation protocol — carries over unchanged. Store
+// failures are never fatal: unreadable records are recomputed, failed
+// writes keep the in-memory result, and both are counted in
+// Stats.StoreErrors. Flush does not touch the store (drop the directory to
+// truly start cold).
+//
 // # Cancellation
 //
 // Engine.Solve threads its context through every phase: ATPG fault
@@ -68,8 +81,33 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmatrix"
 	"repro/internal/netlist"
+	"repro/internal/setcover"
 	"repro/internal/tpg"
 )
+
+// Incumbent is one anytime progress snapshot of an exact covering solve in
+// flight — the best cover known so far — delivered to the observer of
+// Engine.SolveObserved. Re-exported from internal/setcover.
+type Incumbent = setcover.Incumbent
+
+// ArtifactStore is the optional second level of an Engine's artifact
+// caches: persistence of Prepare flows and Detection Matrices across
+// process restarts, so a freshly started daemon pointed at a warm store
+// answers its first request without re-running ATPG. Keys are the Engine's
+// own cache keys (circuit identity + normalized options), which already
+// encode everything an artifact depends on.
+//
+// Load returns (nil, nil) when the key is absent. Store failures never fail
+// a request: a Load error falls back to recomputation and a Save error
+// keeps the in-memory result; both are counted in Stats.StoreErrors.
+// Implementations must be safe for concurrent use by any number of
+// goroutines; internal/store provides the on-disk implementation.
+type ArtifactStore interface {
+	LoadFlow(key string) (*core.Flow, error)
+	SaveFlow(key string, flow *core.Flow) error
+	LoadMatrix(key string) (*dmatrix.Matrix, error)
+	SaveMatrix(key string, m *dmatrix.Matrix) error
+}
 
 // Options configures a new Engine.
 type Options struct {
@@ -91,6 +129,11 @@ type Options struct {
 	// random replacement of settled entries; see internal/cache.
 	MaxCachedFlows    int
 	MaxCachedMatrices int
+	// Store, when non-nil, persists computed flows and matrices and serves
+	// cache misses from disk before recomputing — the warm-restart path.
+	// The in-memory caches stay in front of it, so a running Engine reads
+	// each stored artifact at most once.
+	Store ArtifactStore
 }
 
 // Stats is a snapshot of an Engine's cache effectiveness counters.
@@ -106,6 +149,16 @@ type Stats struct {
 	// Solves counts covering solves performed (solves are never cached:
 	// they are cheap next to the artifacts and carry per-request budgets).
 	Solves int64 `json:"solves"`
+	// FlowStoreLoads / MatrixStoreLoads count artifacts served from the
+	// persistent ArtifactStore instead of being recomputed (the
+	// warm-restart path); they are disjoint from the Builds and Hits
+	// counters above. StoreErrors counts failed store reads and writes —
+	// each one falls back to recomputation or stays in memory, never
+	// failing the request. All three are zero on an Engine without a
+	// Store.
+	FlowStoreLoads   int64 `json:"flow_store_loads"`
+	MatrixStoreLoads int64 `json:"matrix_store_loads"`
+	StoreErrors      int64 `json:"store_errors"`
 }
 
 // Engine is the long-lived front door of the reseeding flow. It is safe
@@ -114,15 +167,19 @@ type Stats struct {
 type Engine struct {
 	parallelism  int
 	atpgDefaults atpg.Options
+	store        ArtifactStore
 
 	flows    cache.Group[string, *core.Flow]
 	matrices cache.Group[matrixKey, *dmatrix.Matrix]
 
-	prepareBuilds atomic.Int64
-	prepareHits   atomic.Int64
-	matrixBuilds  atomic.Int64
-	matrixHits    atomic.Int64
-	solves        atomic.Int64
+	prepareBuilds    atomic.Int64
+	prepareHits      atomic.Int64
+	matrixBuilds     atomic.Int64
+	matrixHits       atomic.Int64
+	solves           atomic.Int64
+	flowStoreLoads   atomic.Int64
+	matrixStoreLoads atomic.Int64
+	storeErrors      atomic.Int64
 }
 
 type matrixKey struct {
@@ -132,12 +189,17 @@ type matrixKey struct {
 	seed   int64
 }
 
+// String is the matrix key's stable persistent-store form.
+func (k matrixKey) String() string {
+	return fmt.Sprintf("%s|tpg:%s,T=%d,theta-seed=%d", k.flow, k.kind, k.cycles, k.seed)
+}
+
 // New returns an Engine with the given defaults.
 func New(opts Options) *Engine {
 	if opts.ATPG.Seed == 0 {
 		opts.ATPG.Seed = 1
 	}
-	e := &Engine{parallelism: opts.Parallelism, atpgDefaults: opts.ATPG}
+	e := &Engine{parallelism: opts.Parallelism, atpgDefaults: opts.ATPG, store: opts.Store}
 	e.flows.SetLimit(opts.MaxCachedFlows)
 	e.matrices.SetLimit(opts.MaxCachedMatrices)
 	return e
@@ -161,11 +223,14 @@ func fallbackCtx(ctx context.Context, fallbacks ...context.Context) context.Cont
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		PrepareBuilds: e.prepareBuilds.Load(),
-		PrepareHits:   e.prepareHits.Load(),
-		MatrixBuilds:  e.matrixBuilds.Load(),
-		MatrixHits:    e.matrixHits.Load(),
-		Solves:        e.solves.Load(),
+		PrepareBuilds:    e.prepareBuilds.Load(),
+		PrepareHits:      e.prepareHits.Load(),
+		MatrixBuilds:     e.matrixBuilds.Load(),
+		MatrixHits:       e.matrixHits.Load(),
+		Solves:           e.solves.Load(),
+		FlowStoreLoads:   e.flowStoreLoads.Load(),
+		MatrixStoreLoads: e.matrixStoreLoads.Load(),
+		StoreErrors:      e.storeErrors.Load(),
 	}
 }
 
@@ -192,12 +257,26 @@ func inlineID(source string) string {
 	return "inline:" + hex.EncodeToString(sum[:])
 }
 
-// flow fetches or computes the Flow for key. build constructs the circuit
-// and runs core.Prepare under the flight context it is given.
+// flow fetches or computes the Flow for key, consulting the persistent
+// store (when configured) between the in-memory cache and a fresh
+// core.Prepare. build constructs the circuit and runs the ATPG under the
+// flight context it is given. The returned bool reports whether the caller
+// was spared the ATPG: an in-memory hit, a shared in-flight preparation, or
+// a store load.
 func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 	load func() (*netlist.Circuit, error)) (*core.Flow, bool, error) {
 
+	var fromStore bool
 	f, hit, err := e.flows.Do(ctx, key, func(fctx context.Context) (*core.Flow, error) {
+		if e.store != nil {
+			switch f, err := e.store.LoadFlow(key); {
+			case err != nil:
+				e.storeErrors.Add(1) // unreadable record: recompute
+			case f != nil:
+				fromStore = true
+				return f, nil
+			}
+		}
 		c, err := load()
 		if err != nil {
 			return nil, err
@@ -207,17 +286,29 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		if o.Parallelism == 0 {
 			o.Parallelism = e.parallelism
 		}
-		return core.Prepare(c, o)
+		f, err := core.Prepare(c, o)
+		if err != nil {
+			return nil, err
+		}
+		if e.store != nil {
+			if serr := e.store.SaveFlow(key, f); serr != nil {
+				e.storeErrors.Add(1)
+			}
+		}
+		return f, nil
 	})
 	if err != nil {
 		return nil, hit, fmt.Errorf("engine: prepare %s: %w", key, err)
 	}
-	if hit {
+	switch {
+	case hit:
 		e.prepareHits.Add(1)
-	} else {
+	case fromStore:
+		e.flowStoreLoads.Add(1)
+	default:
 		e.prepareBuilds.Add(1)
 	}
-	return f, hit, nil
+	return f, hit || fromStore, nil
 }
 
 // prepareNamed is the one derivation of a named benchmark's flow key and
@@ -313,17 +404,39 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 		cycles = core.DefaultCycles
 	}
 	mkey := matrixKey{flow: flowKey, kind: kind, cycles: cycles, seed: opts.Seed}
+	var fromStore bool
 	m, hit, err := e.matrices.Do(ctx, mkey, func(fctx context.Context) (*dmatrix.Matrix, error) {
+		if e.store != nil {
+			switch m, err := e.store.LoadMatrix(mkey.String()); {
+			case err != nil:
+				e.storeErrors.Add(1)
+			case m != nil:
+				fromStore = true
+				return m, nil
+			}
+		}
 		o := opts
 		o.Context = fctx
-		return flow.BuildMatrix(gen, o)
+		m, err := flow.BuildMatrix(gen, o)
+		if err != nil {
+			return nil, err
+		}
+		if e.store != nil {
+			if serr := e.store.SaveMatrix(mkey.String(), m); serr != nil {
+				e.storeErrors.Add(1)
+			}
+		}
+		return m, nil
 	})
 	if err != nil {
 		return nil, hit, fmt.Errorf("engine: matrix %s/%s/T=%d: %w", flowKey, kind, cycles, err)
 	}
-	if hit {
+	switch {
+	case hit:
 		e.matrixHits.Add(1)
-	} else {
+	case fromStore:
+		e.matrixStoreLoads.Add(1)
+	default:
 		e.matrixBuilds.Add(1)
 	}
 	e.solves.Add(1)
@@ -331,7 +444,7 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 	if err != nil {
 		return nil, hit, fmt.Errorf("engine: %w", err)
 	}
-	return sol, hit, nil
+	return sol, hit || fromStore, nil
 }
 
 // Run is the structured-options counterpart of Solve: it serves the v1

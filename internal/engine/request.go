@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -99,7 +100,8 @@ type Response struct {
 func (e *Engine) circuitRef(req Request) (id string, load func() (*netlist.Circuit, error), err error) {
 	switch {
 	case req.Circuit != "" && req.Bench != "":
-		return "", nil, fmt.Errorf("engine: request names both a benchmark circuit (%q) and an inline bench source", req.Circuit)
+		return "", nil, badField("request",
+			"both a benchmark circuit (%q) and an inline bench source given; they are mutually exclusive", req.Circuit)
 	case req.Circuit != "":
 		name := req.Circuit
 		return "bench:" + name, func() (*netlist.Circuit, error) { return bench.ScanView(name) }, nil
@@ -110,7 +112,9 @@ func (e *Engine) circuitRef(req Request) (id string, load func() (*netlist.Circu
 		return id, func() (*netlist.Circuit, error) {
 			c, err := netlist.Parse(name, strings.NewReader(src))
 			if err != nil {
-				return nil, err
+				// An unparseable inline source is the client's fault, not
+				// the solve's: type it so the HTTP layer maps it to 400.
+				return nil, badField("bench", "%v", err)
 			}
 			if !c.IsCombinational() {
 				return c.FullScan()
@@ -118,7 +122,8 @@ func (e *Engine) circuitRef(req Request) (id string, load func() (*netlist.Circu
 			return c, nil
 		}, nil
 	default:
-		return "", nil, fmt.Errorf("engine: request has neither a circuit name nor a bench source")
+		return "", nil, badField("request",
+			"neither a benchmark circuit name nor an inline bench source given")
 	}
 }
 
@@ -169,6 +174,9 @@ func (e *Engine) Prepare(ctx context.Context, req Request) (bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if errs := req.validateCircuit(); len(errs) > 0 {
+		return false, errors.Join(errs...)
+	}
 	id, load, err := e.circuitRef(req)
 	if err != nil {
 		return false, err
@@ -183,13 +191,27 @@ func (e *Engine) Prepare(ctx context.Context, req Request) (bool, error) {
 // from the Engine's caches when possible. A ctx cancelled during the
 // covering phase yields the solver's best-so-far with Optimal = false and
 // Response.Interrupted set; a ctx cancelled before any solution exists
-// returns the context's error.
+// returns the context's error. An invalid request fails Validate before
+// any work starts (errors.As exposes the *RequestError details).
 func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
+	return e.SolveObserved(ctx, req, nil)
+}
+
+// SolveObserved is Solve with an anytime progress observer: when the
+// covering phase runs the exact solver, onIncumbent receives a snapshot for
+// the greedy seed and for every replacement of the best cover found so far
+// (costs never increase; the last snapshot describes the returned cover),
+// offset to whole-solution totals (essential rows included). It is
+// how a long-running job surfaces best-so-far state before the final
+// Response exists. onIncumbent runs on solver goroutines under a solver
+// lock: it must return quickly and must not call back into the Engine. A
+// nil onIncumbent makes SolveObserved exactly Solve.
+func (e *Engine) SolveObserved(ctx context.Context, req Request, onIncumbent func(Incumbent)) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if req.TPG == "" {
-		return nil, fmt.Errorf("engine: request has no TPG kind")
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	id, load, err := e.circuitRef(req)
 	if err != nil {
@@ -199,6 +221,7 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.Exact.OnIncumbent = onIncumbent
 	atpgOpts := req.atpgOptions(e)
 	key := flowKeyFor(id, atpgOpts)
 	flow, prepHit, err := e.flow(ctx, key, atpgOpts, load)

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ctxutil"
+	"repro/internal/engine"
+)
+
+// A job is one asynchronous solve: created by POST /v1/jobs, observed by
+// GET /v1/jobs/{id}, cancelled by DELETE. Its life is
+//
+//	queued → running → done | failed | cancelled
+//
+// with "done" covering both a completed solve and a cancellation that
+// reached the anytime covering phase (the Response then carries the best
+// cover found with Interrupted set — a usable incumbent, per the paper's
+// operational framing). "cancelled" means the job was stopped before any
+// solution existed; "failed" means the solve itself errored.
+type jobState string
+
+const (
+	jobQueued    jobState = "queued"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+func (st jobState) finished() bool {
+	return st == jobDone || st == jobFailed || st == jobCancelled
+}
+
+type job struct {
+	id      string
+	req     engine.Request
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	state    jobState
+	started  time.Time
+	finished time.Time
+	best     *engine.Incumbent // latest anytime snapshot, nil before the first
+	bestAt   time.Time
+	resp     *engine.Response
+	errMsg   string
+}
+
+// observe is the incumbent callback threaded into the exact solver; it
+// runs under the solver's lock and therefore only swaps a snapshot.
+func (j *job) observe(inc engine.Incumbent) {
+	j.mu.Lock()
+	j.best, j.bestAt = &inc, time.Now()
+	j.mu.Unlock()
+}
+
+// jobView is the wire form of a job's status.
+type jobView struct {
+	ID      string         `json:"id"`
+	State   jobState       `json:"state"`
+	Request engine.Request `json:"request"`
+	Created time.Time      `json:"created"`
+	Started *time.Time     `json:"started,omitempty"`
+	Ended   *time.Time     `json:"ended,omitempty"`
+	// Best is the most recent best-so-far snapshot of the exact covering
+	// solve (whole-solution triplet counts); it appears once the solve has
+	// a greedy incumbent and tightens as the search proves better covers.
+	Best   *engine.Incumbent `json:"best,omitempty"`
+	BestAt *time.Time        `json:"best_at,omitempty"`
+	// Response is present once State is "done".
+	Response *engine.Response `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:      j.id,
+		State:   j.state,
+		Request: j.req,
+		Created: j.created,
+		Best:    j.best,
+		Error:   j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Ended = &t
+	}
+	if j.best != nil {
+		t := j.bestAt
+		v.BestAt = &t
+	}
+	if j.state == jobDone {
+		v.Response = j.resp
+	}
+	return v
+}
+
+// jobTable owns every live job. Finished jobs are retained (so their
+// Response stays fetchable) up to the configured bound, then evicted
+// oldest first.
+type jobTable struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // creation order, for eviction
+	nextID int
+	limit  int
+}
+
+func (t *jobTable) init(limit int) {
+	t.jobs = make(map[string]*job)
+	t.limit = limit
+}
+
+func (t *jobTable) create(req engine.Request, cancel context.CancelFunc) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", t.nextID),
+		req:     req,
+		created: time.Now(),
+		cancel:  cancel,
+		state:   jobQueued,
+	}
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	t.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished jobs while over the limit. Queued
+// and running jobs are never evicted, so the table can transiently exceed
+// the limit when more than limit jobs are active at once.
+func (t *jobTable) evictLocked() {
+	if len(t.jobs) <= t.limit {
+		return
+	}
+	keep := t.order[:0]
+	for _, id := range t.order {
+		j, ok := t.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(t.jobs) > t.limit && j.snapshotState().finished() {
+			delete(t.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	t.order = keep
+}
+
+func (j *job) snapshotState() jobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+func (t *jobTable) list() []jobView {
+	t.mu.Lock()
+	jobs := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	return views
+}
+
+func (t *jobTable) countByState() map[string]int {
+	t.mu.Lock()
+	jobs := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	out := map[string]int{}
+	for _, j := range jobs {
+		out[string(j.snapshotState())]++
+	}
+	return out
+}
+
+// active counts jobs not yet finished (the drain condition).
+func (t *jobTable) active() int {
+	t.mu.Lock()
+	jobs := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		if !j.snapshotState().finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// runJob executes one job to completion on its own goroutine: wait for an
+// admission slot (unbounded — the job table is the queue), then solve with
+// the anytime observer attached.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	// Release the job's context resources however it ends, or every
+	// finished job would stay registered as a child of the server's base
+	// context for the daemon's lifetime. DELETE calling j.cancel again is
+	// a no-op.
+	defer j.cancel()
+	release, err := s.acquire(ctx, false)
+	if err != nil {
+		// Cancelled (or the server drained) while still queued: no work
+		// was lost because none had started.
+		j.mu.Lock()
+		j.state, j.errMsg, j.finished = jobCancelled, err.Error(), time.Now()
+		j.mu.Unlock()
+		return
+	}
+	defer release()
+
+	j.mu.Lock()
+	j.state, j.started = jobRunning, time.Now()
+	j.mu.Unlock()
+
+	resp, err := s.eng.SolveObserved(ctx, j.req, j.observe)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		// Includes cancellation that reached the covering phase: the
+		// Response carries the best-so-far with Interrupted set.
+		j.state, j.resp = jobDone, resp
+	case ctxutil.Err(ctx) != nil:
+		j.state, j.errMsg = jobCancelled, err.Error()
+	default:
+		j.state, j.errMsg = jobFailed, err.Error()
+	}
+}
+
+// ---- job handlers ----
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, errBusy)
+		return
+	}
+	var req engine.Request
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := s.jobs.create(req, cancel)
+	go s.runJob(ctx, j)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobDelete cancels a job. Cancelling a finished job is a no-op that
+// reports the final state, so DELETE is idempotent.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.view())
+}

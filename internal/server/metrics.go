@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics holds the HTTP request counters; everything else on /metrics is
+// read live from the engine and the server gauges at scrape time. The
+// exposition is hand-rolled Prometheus text format — one small daemon does
+// not need a client library dependency.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]int64
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+func (m *metrics) incRequest(route string, code int) {
+	m.mu.Lock()
+	if m.requests == nil {
+		m.requests = make(map[requestKey]int64)
+	}
+	m.requests[requestKey{route, code}]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) totalRequests() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, v := range m.requests {
+		n += v
+	}
+	return n
+}
+
+func (m *metrics) snapshotRequests() map[requestKey]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[requestKey]int64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP reseedd_uptime_seconds Seconds since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "reseedd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP reseedd_http_requests_total HTTP requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_http_requests_total counter\n")
+	reqs := s.metrics.snapshotRequests()
+	keys := make([]requestKey, 0, len(reqs))
+	for k := range reqs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].route != keys[b].route {
+			return keys[a].route < keys[b].route
+		}
+		return keys[a].code < keys[b].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "reseedd_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, reqs[k])
+	}
+
+	fmt.Fprintf(w, "# HELP reseedd_solves_in_flight Solves currently holding an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_solves_in_flight gauge\n")
+	fmt.Fprintf(w, "reseedd_solves_in_flight %d\n", len(s.sem))
+	fmt.Fprintf(w, "# HELP reseedd_solves_queued Synchronous solves waiting for an admission slot.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_solves_queued gauge\n")
+	fmt.Fprintf(w, "reseedd_solves_queued %d\n", s.queued.Load())
+
+	fmt.Fprintf(w, "# HELP reseedd_jobs Jobs retained in the job table, by state.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_jobs gauge\n")
+	counts := s.jobs.countByState()
+	for _, st := range []jobState{jobQueued, jobRunning, jobDone, jobFailed, jobCancelled} {
+		fmt.Fprintf(w, "reseedd_jobs{state=%q} %d\n", st, counts[string(st)])
+	}
+
+	st := s.eng.Stats()
+	for _, c := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"engine_prepare_builds", "ATPG preparations executed.", st.PrepareBuilds},
+		{"engine_prepare_hits", "Preparations served from the in-memory cache.", st.PrepareHits},
+		{"engine_matrix_builds", "Detection Matrices built.", st.MatrixBuilds},
+		{"engine_matrix_hits", "Matrices served from the in-memory cache.", st.MatrixHits},
+		{"engine_solves", "Covering solves performed.", st.Solves},
+		{"engine_flow_store_loads", "Preparations served from the persistent store.", st.FlowStoreLoads},
+		{"engine_matrix_store_loads", "Matrices served from the persistent store.", st.MatrixStoreLoads},
+		{"engine_store_errors", "Failed persistent-store reads and writes.", st.StoreErrors},
+	} {
+		fmt.Fprintf(w, "# HELP reseedd_%s_total %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE reseedd_%s_total counter\n", c.name)
+		fmt.Fprintf(w, "reseedd_%s_total %d\n", c.name, c.value)
+	}
+}

@@ -88,10 +88,53 @@ type ExactOptions struct {
 	// stops the search, returning the best cover found so far with
 	// Optimal = false and a nil error.
 	Context context.Context
+	// OnIncumbent, when non-nil, observes the anytime progress of the
+	// solve: it is invoked once for the greedy seed before the search
+	// starts and again every time the shared incumbent is replaced — a
+	// strictly better cost, or an equal-cost witness from a lower branch
+	// (the deterministic merge). Calls are serialized (never concurrent),
+	// costs are non-increasing across them, and the last snapshot always
+	// describes the cover the solve returns. The callback runs on solver
+	// goroutines while an internal lock is held: it must return quickly
+	// and must not call back into the solver. The SolveMinimal pipelines
+	// offset snapshots by the essential rows chosen outside the residual
+	// solve, so observers see whole-solution totals.
+	OnIncumbent func(Incumbent)
 
 	// noSiblingExclusion disables the duplicate-sibling-subtree fix so its
 	// node-count reduction is assertable. Test hook only.
 	noSiblingExclusion bool
+}
+
+// WithIncumbentOffset returns options whose OnIncumbent snapshots are
+// shifted by the given cost and cardinality before reaching the original
+// callback. The reduction pipelines use it to account for the essential
+// rows committed outside the residual solve, so observers see totals for
+// the whole problem; options without a callback pass through unchanged.
+func (o ExactOptions) WithIncumbentOffset(cost, rows int) ExactOptions {
+	if o.OnIncumbent == nil || (cost == 0 && rows == 0) {
+		return o
+	}
+	inner := o.OnIncumbent
+	o.OnIncumbent = func(inc Incumbent) {
+		inc.Cost += cost
+		inc.Rows += rows
+		inner(inc)
+	}
+	return o
+}
+
+// Incumbent is one anytime progress snapshot of an exact covering solve:
+// the best cover known so far. For unit-weight solves Cost equals Rows.
+type Incumbent struct {
+	// Cost is the incumbent cover's total cost (its cardinality for
+	// unit-weight solves, its total weight for weighted ones).
+	Cost int `json:"cost"`
+	// Rows is the incumbent cover's cardinality.
+	Rows int `json:"rows"`
+	// Nodes is the number of branch-and-bound nodes expanded when the
+	// incumbent was recorded; 0 identifies the greedy seed.
+	Nodes int64 `json:"nodes"`
 }
 
 const defaultMaxNodes = 50_000_000
@@ -121,23 +164,25 @@ type engine struct {
 	// It only decreases; a stale read merely delays a prune.
 	sharedCost atomic.Int64
 
-	mu         sync.Mutex
-	bestRows   []int
-	bestCost   int
-	bestBranch int
+	mu          sync.Mutex
+	bestRows    []int
+	bestCost    int
+	bestBranch  int
+	onIncumbent func(Incumbent)
 }
 
 func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts ExactOptions) *engine {
 	e := &engine{
-		p:          p,
-		weights:    weights,
-		colRows:    make([][]int, p.numCols),
-		exclude:    !opts.noSiblingExclusion,
-		maxNodes:   opts.MaxNodes,
-		ctx:        opts.Context,
-		bestRows:   append([]int(nil), seed.Rows...),
-		bestCost:   seedCost,
-		bestBranch: unsetBranch,
+		p:           p,
+		weights:     weights,
+		colRows:     make([][]int, p.numCols),
+		exclude:     !opts.noSiblingExclusion,
+		maxNodes:    opts.MaxNodes,
+		ctx:         opts.Context,
+		bestRows:    append([]int(nil), seed.Rows...),
+		bestCost:    seedCost,
+		bestBranch:  unsetBranch,
+		onIncumbent: opts.OnIncumbent,
 	}
 	if e.maxNodes == 0 {
 		e.maxNodes = defaultMaxNodes
@@ -199,6 +244,13 @@ func (e *engine) record(cost int, rows []int, branch int) {
 		e.bestCost = cost
 		e.bestBranch = branch
 		e.bestRows = append(e.bestRows[:0], rows...)
+		if e.onIncumbent != nil {
+			// Under e.mu, so snapshots are serialized; fired on every
+			// replacement — including an equal-cost witness from a lower
+			// branch — so the last snapshot always describes the cover the
+			// solve will return.
+			e.onIncumbent(Incumbent{Cost: cost, Rows: len(rows), Nodes: e.nodes.Load()})
+		}
 	}
 	e.mu.Unlock()
 	for {
@@ -433,6 +485,9 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 		return Solution{}, err
 	}
 	e := newEngine(p, weights, greedy, greedy.Cost, opts)
+	if e.onIncumbent != nil {
+		e.onIncumbent(Incumbent{Cost: greedy.Cost, Rows: len(greedy.Rows)})
+	}
 
 	finish := func() Solution {
 		sol := Solution{

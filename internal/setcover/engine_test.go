@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/bitvec"
 )
 
 // engineDegrees is the acceptance sweep: serial, two explicit pool sizes,
@@ -221,4 +223,100 @@ func BenchmarkExactHardInstance(b *testing.B) {
 		nodes = sol.Nodes
 	}
 	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// TestOnIncumbentContract pins the anytime observer: the first snapshot is
+// the greedy seed (Nodes 0), costs never increase across snapshots even
+// with a parallel fan-out (an equal-cost snapshot marks the deterministic
+// merge replacing the witness), and the last snapshot equals the returned
+// optimum. Runs under -race in CI (callbacks are serialized by the engine).
+func TestOnIncumbentContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		p := randomCoverable(rng, 14+rng.Intn(16), 30+rng.Intn(30))
+		for _, j := range engineDegrees {
+			var snaps []Incumbent
+			sol, err := p.SolveExact(ExactOptions{
+				Parallelism: j,
+				OnIncumbent: func(inc Incumbent) { snaps = append(snaps, inc) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snaps) == 0 {
+				t.Fatalf("trial %d j=%d: no snapshot at all (greedy seed missing)", trial, j)
+			}
+			if snaps[0].Nodes != 0 {
+				t.Errorf("trial %d j=%d: first snapshot is not the seed: %+v", trial, j, snaps[0])
+			}
+			for i := 1; i < len(snaps); i++ {
+				if snaps[i].Cost > snaps[i-1].Cost {
+					t.Errorf("trial %d j=%d: snapshot costs increased: %+v", trial, j, snaps)
+					break
+				}
+			}
+			last := snaps[len(snaps)-1]
+			if last.Cost != sol.Cost || last.Rows != len(sol.Rows) {
+				t.Errorf("trial %d j=%d: last snapshot %+v does not match the solution (cost %d, %d rows)",
+					trial, j, last, sol.Cost, len(sol.Rows))
+			}
+			// Unit weights: cost and cardinality coincide in every snapshot.
+			for _, s := range snaps {
+				if s.Cost != s.Rows {
+					t.Errorf("trial %d j=%d: unit-weight snapshot with cost != rows: %+v", trial, j, s)
+				}
+			}
+		}
+	}
+}
+
+// TestOnIncumbentOffsets pins the pipeline wrapping: observers of the
+// SolveMinimal pipelines see whole-solution totals (essential rows
+// included), for both the unit-cost and the weighted variants.
+func TestOnIncumbentOffsets(t *testing.T) {
+	// Column 3 is covered only by row 3 (essential). Columns 0..2 form a
+	// 3-cycle over rows 0..2 — pairwise incomparable, nothing essential,
+	// nothing dominated — so reduction leaves a genuine residual for the
+	// exact solver (optimum: any 2 of the 3 cycle rows, plus the
+	// essential).
+	p := NewProblem(4)
+	add := func(cols ...int) {
+		s := bitvec.NewSet(4)
+		for _, c := range cols {
+			s.Add(c)
+		}
+		p.AddRow(s)
+	}
+	add(0, 1)
+	add(1, 2)
+	add(2, 0)
+	add(3)
+
+	var last *Incumbent
+	opts := ExactOptions{OnIncumbent: func(inc Incumbent) { last = &inc }}
+	sol, _, err := p.SolveMinimal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no snapshot from SolveMinimal")
+	}
+	if last.Cost != sol.Cost || last.Rows != len(sol.Rows) {
+		t.Errorf("SolveMinimal snapshot %+v does not include essentials (solution cost %d, %d rows)",
+			*last, sol.Cost, len(sol.Rows))
+	}
+
+	weights := []int{3, 1, 2, 2}
+	last = nil
+	wsol, _, err := p.SolveMinimalWeighted(weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no snapshot from SolveMinimalWeighted")
+	}
+	if last.Cost != wsol.Cost || last.Rows != len(wsol.Rows) {
+		t.Errorf("SolveMinimalWeighted snapshot %+v does not match solution (cost %d, %d rows)",
+			*last, wsol.Cost, len(wsol.Rows))
+	}
 }

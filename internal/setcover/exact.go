@@ -28,7 +28,8 @@ func (p *Problem) SolveMinimal(opts ExactOptions) (Solution, *Reduction, error) 
 	red := p.Reduce()
 	sol := Solution{Rows: append([]int(nil), red.Essential...), Optimal: true}
 	if !red.Empty() {
-		sub, err := red.Residual.SolveExact(opts)
+		sub, err := red.Residual.SolveExact(
+			opts.WithIncumbentOffset(len(red.Essential), len(red.Essential)))
 		if err != nil {
 			return Solution{}, nil, err
 		}

@@ -84,7 +84,8 @@ func (p *Problem) SolveMinimalWeighted(weights []int, opts ExactOptions) (Soluti
 		for i, r := range red.RowMap {
 			subWeights[i] = weights[r]
 		}
-		sub, err := red.Residual.SolveExactWeighted(subWeights, opts)
+		sub, err := red.Residual.SolveExactWeighted(subWeights,
+			opts.WithIncumbentOffset(totalWeight(weights, red.Essential), len(red.Essential)))
 		if err != nil {
 			return Solution{}, nil, err
 		}

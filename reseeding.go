@@ -91,6 +91,7 @@ import (
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
 	"repro/internal/setcover"
+	"repro/internal/store"
 	"repro/internal/tpg"
 	"repro/internal/tpggen"
 )
@@ -227,8 +228,35 @@ type EngineStats = engine.Stats
 
 // Request is one serializable reseeding query answered by Engine.Solve:
 // circuit name or inline .bench source, TPG kind, cycles, seeds, solver,
-// objective and budgets, all plain JSON-taggable values.
+// objective and budgets, all plain JSON-taggable values. Request.Validate
+// checks it without solving; violations are typed *RequestError values.
 type Request = engine.Request
+
+// RequestError explains one way a Request is invalid (which field, and
+// why). Engine.Solve returns these — possibly several, joined — for
+// malformed requests; unwrap with errors.As. cmd/reseed and the HTTP
+// server's 400 mapping share this type.
+type RequestError = engine.RequestError
+
+// Incumbent is one anytime progress snapshot of an exact covering solve:
+// the best cover known so far. Engine.SolveObserved delivers these while a
+// long solve runs — the heartbeat of the reseedd job API.
+type Incumbent = engine.Incumbent
+
+// ArtifactStore is the Engine's optional second-level artifact cache:
+// persistence of ATPG preparations and Detection Matrices across process
+// restarts. Set EngineOptions.Store to enable it; OpenStore returns the
+// on-disk implementation.
+type ArtifactStore = engine.ArtifactStore
+
+// Store is the on-disk ArtifactStore: content-addressed JSON records under
+// one root directory, written atomically. See internal/store for the
+// layout and encodings.
+type Store = store.Store
+
+// OpenStore opens the on-disk artifact store rooted at dir, creating the
+// directory tree as needed.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 
 // Response is the serializable outcome of Engine.Solve: the Solution plus
 // the resolved circuit, the ATPG summary and cache observability fields.
