@@ -1,0 +1,30 @@
+// Command reseedvet is the repository's analyzer suite: five checks that
+// mechanically enforce the determinism, cancellation, locking and
+// wire-format contracts the codebase's tests pin dynamically. Run it
+// through cmd/go so it sees compiled type information:
+//
+//	go build -o /tmp/reseedvet ./cmd/reseedvet
+//	go vet -vettool=/tmp/reseedvet ./...
+//
+// CI runs exactly that; a finding fails the build. See docs/DEVELOPING.md
+// for what each analyzer enforces and how to acknowledge a finding.
+package main
+
+import (
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/errpolicy"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/reseedvet"
+	"repro/internal/analysis/wiretag"
+)
+
+func main() {
+	reseedvet.Main(
+		maporder.Analyzer,
+		ctxloop.Analyzer,
+		lockcheck.Analyzer,
+		wiretag.Analyzer,
+		errpolicy.Analyzer,
+	)
+}

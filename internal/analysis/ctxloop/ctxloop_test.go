@@ -1,0 +1,14 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestCtxloop vets the fixture module with only this analyzer enabled and
+// matches the findings against the fixture's want comments, positive and
+// negative cases both.
+func TestCtxloop(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "ctxloop")
+}

@@ -1,0 +1,10 @@
+// Package nocontext declares no context-carrying struct, so it is outside
+// the cancellation contract and its spin loop is not ctxloop's business.
+package nocontext
+
+func Spin() int {
+	n := 0
+	for {
+		n++
+	}
+}

@@ -1,0 +1,63 @@
+// Package solver is a ctxloop fixture: Options carries a context.Context,
+// which puts the whole package under the cancellation contract.
+package solver
+
+import "context"
+
+type Options struct {
+	Ctx context.Context
+}
+
+// Spin can never observe cancellation.
+func Spin() int {
+	n := 0
+	for { // want "infinite for loop"
+		n++
+	}
+}
+
+// Pump is fine: the select checks Done (and can return).
+func Pump(o Options, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-o.Ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// Drain is fine: it can break out of the loop.
+func Drain(ch chan int) int {
+	n := 0
+	for {
+		if len(ch) == 0 {
+			break
+		}
+		n += <-ch
+	}
+	return n
+}
+
+// Stuck is flagged: the break leaves the inner range loop, not the
+// infinite outer one.
+func Stuck(mm [][]int) {
+	for { // want "infinite for loop"
+		for _, r := range mm {
+			if len(r) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Escape is flagged: the return belongs to the function literal, not the
+// loop's function.
+func Escape() {
+	for { // want "infinite for loop"
+		f := func() int { return 1 }
+		f()
+	}
+}

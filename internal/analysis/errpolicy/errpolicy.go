@@ -1,0 +1,100 @@
+// Package errpolicy enforces the repository's error-discard policy: a
+// blank-assigned error is only acceptable when the same line says why.
+//
+// An assignment that throws away a call's error result —
+//
+//	_ = enc.Encode(v)
+//	_, _ = io.Copy(io.Discard, r)
+//
+// — must carry a same-line comment whose first word classifies the
+// discard:
+//
+//	_ = w.Render(&b) // infallible: strings.Builder never errors
+//	_ = conn.Close() // best-effort: already tearing down
+//
+// "infallible:" asserts the callee cannot return a non-nil error with
+// these arguments (document why). "best-effort:" concedes the error is
+// real but consciously dropped — which is only policy-clean when no
+// client is waiting on the result; errors a client could observe must
+// instead be counted (a Stats/metrics counter) or returned. Discards
+// with no justification, or with a bare comment that doesn't use one of
+// the two markers, are flagged. The analyzer runs module-wide; test
+// files are exempt.
+package errpolicy
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/reseedvet"
+)
+
+var Analyzer = &reseedvet.Analyzer{
+	Name: "errpolicy",
+	Doc:  "requires a same-line 'infallible:' or 'best-effort:' justification on blank-assigned errors",
+	Run:  run,
+}
+
+func run(pass *reseedvet.Pass) error {
+	for _, file := range pass.SourceFiles() {
+		// Line → trailing comment text for same-line justification lookup.
+		comments := make(map[int]string)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				line := pass.Fset.Position(c.Pos()).Line
+				if _, ok := comments[line]; !ok {
+					comments[line] = c.Text
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || asg.Tok != token.ASSIGN {
+				return true
+			}
+			if !allBlank(asg.Lhs) || len(asg.Rhs) != 1 {
+				return true
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok || !returnsError(pass, call) {
+				return true
+			}
+			line := pass.Fset.Position(asg.Pos()).Line
+			if justified(comments[line]) {
+				return true
+			}
+			pass.Reportf(asg.Pos(),
+				"discarded error needs a same-line justification comment ('// infallible: ...' or '// best-effort: ...'), a counter, or a return")
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// returnsError reports whether any of call's results is of type error.
+func returnsError(pass *reseedvet.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return reseedvet.HasErrorResult(tv.Type)
+}
+
+// justified reports whether a comment's text starts with one of the two
+// policy markers. c is the comment with // or /* */ markers stripped
+// (ast.Comment.Text form).
+func justified(c string) bool {
+	c = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(strings.TrimSpace(c), "//"), "/*"))
+	return strings.HasPrefix(c, "infallible:") || strings.HasPrefix(c, "best-effort:")
+}

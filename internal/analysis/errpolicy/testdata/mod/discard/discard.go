@@ -1,0 +1,55 @@
+// Package discard is an errpolicy fixture (the analyzer is module-wide).
+package discard
+
+import (
+	"errors"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func both() (int, error) { return 0, errors.New("no") }
+
+func value() int { return 1 }
+
+func write(b *strings.Builder) error {
+	_, err := b.WriteString("x")
+	return err
+}
+
+// Bad discards an error with no justification.
+func Bad() {
+	_ = fail() // want "discarded error needs a same-line justification"
+}
+
+// BadPair discards a multi-value result that includes an error.
+func BadPair() {
+	_, _ = both() // want "discarded error needs a same-line justification"
+}
+
+// BadComment has a comment, but not one of the two policy markers.
+func BadComment() {
+	_ = fail() // nothing to see here // want "discarded error needs a same-line justification"
+}
+
+// BestEffort carries the accepted best-effort marker.
+func BestEffort() {
+	_ = fail() // best-effort: fixture exercises the accepted marker
+}
+
+// Infallible carries the accepted infallible marker.
+func Infallible() {
+	var b strings.Builder
+	_ = write(&b) // infallible: strings.Builder never errors
+}
+
+// NotError discards a non-error value; no policy applies.
+func NotError() {
+	_ = value()
+}
+
+// Acknowledged uses the suppression directive instead of a marker.
+func Acknowledged() {
+	//reseedvet:ignore errpolicy -- fixture: acknowledged via directive
+	_ = fail()
+}

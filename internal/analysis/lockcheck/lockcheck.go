@@ -1,0 +1,246 @@
+// Package lockcheck enforces `// guarded by <mu>` field annotations: a
+// struct field documented as guarded by a sibling mutex field may only be
+// accessed by functions that demonstrably hold that mutex.
+//
+// # Annotation grammar
+//
+// A field's doc comment or same-line comment containing
+//
+//	guarded by <fieldname>
+//
+// declares that every read or write of the field must happen under the
+// named sibling field, which must be a sync.Mutex or sync.RWMutex (or a
+// pointer to one). Example:
+//
+//	type table struct {
+//		mu   sync.Mutex
+//		jobs map[string]*job // guarded by mu
+//	}
+//
+// # What counts as holding the lock
+//
+// The check is flow-insensitive and per-function. An access base.field is
+// accepted when one of these holds:
+//
+//   - the enclosing function also contains base.mu.Lock() or
+//     base.mu.RLock() with the same base expression;
+//   - the enclosing function's name ends in "Locked" (the repository's
+//     convention for helpers whose callers hold the lock);
+//   - base is a local variable declared inside the function body — a
+//     freshly constructed, not-yet-shared value.
+//
+// Anything else is flagged. Function literals are analyzed as their own
+// functions: a closure must take the lock itself (or be acknowledged with
+// a //reseedvet:ignore directive explaining why it is safe).
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/reseedvet"
+)
+
+var Analyzer = &reseedvet.Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforces '// guarded by <mu>' field annotations against accesses outside the mutex",
+	Run:  run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func run(pass *reseedvet.Pass) error {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exempt := strings.HasSuffix(fn.Name.Name, "Locked")
+			checkFunc(pass, guarded, fn.Body, exempt)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations parses every struct declaration's field comments for
+// the grammar and resolves the annotated fields to their types.Object.
+// It validates that the named mutex is a sibling field of a mutex type.
+func collectAnnotations(pass *reseedvet.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]*ast.Field)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = f
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := annotation(f)
+				if mu == "" {
+					continue
+				}
+				muField, ok := fieldNames[mu]
+				if !ok {
+					pass.Reportf(f.Pos(), "guarded-by annotation names %q, which is not a field of this struct", mu)
+					continue
+				}
+				if !isMutexField(pass, muField) {
+					pass.Reportf(f.Pos(), "guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex", mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func annotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutexField(pass *reseedvet.Pass, f *ast.Field) bool {
+	tv, ok := pass.TypesInfo.Types[f.Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkFunc analyzes one function body. Nested function literals are
+// peeled off and analyzed on their own: locks held by the enclosing
+// function do not sanction a closure that may run on another goroutine.
+func checkFunc(pass *reseedvet.Pass, guarded map[types.Object]string, body *ast.BlockStmt, exempt bool) {
+	var lits []*ast.FuncLit
+	held := make(map[string]bool) // "base.mu" expressions locked in this function
+
+	// Pass 1: find nested literals and the Lock/RLock calls made at this
+	// function's level.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			held[types.ExprString(muSel.X)+"."+muSel.Sel.Name] = true
+		} else if id, ok := sel.X.(*ast.Ident); ok {
+			// A mutex held directly (local or package-level `mu.Lock()`).
+			held[id.Name] = true
+		}
+		return true
+	})
+
+	// Pass 2: check guarded-field accesses at this function's level.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		mu, isGuarded := guarded[obj]
+		if !isGuarded || exempt {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if held[base+"."+mu] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && isFreshLocal(pass, id, body) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s.%s, but this function neither locks it nor is a *Locked helper",
+			base, sel.Sel.Name, base, mu)
+		return true
+	})
+
+	// Recurse into each literal as its own function.
+	for _, lit := range lits {
+		if !inLitOther(lit, lits) {
+			checkFunc(pass, guarded, lit.Body, exempt)
+		}
+	}
+}
+
+// inLitOther reports whether lit is nested inside another literal in the
+// list (it will be reached by the recursive checkFunc of its parent).
+func inLitOther(lit *ast.FuncLit, all []*ast.FuncLit) bool {
+	for _, other := range all {
+		if other == lit {
+			continue
+		}
+		if lit.Pos() > other.Pos() && lit.End() <= other.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isFreshLocal reports whether id names a variable declared inside this
+// function body — a value constructed here and (absent aliasing) not yet
+// shared with other goroutines, so pre-publication initialization without
+// the lock is fine.
+func isFreshLocal(pass *reseedvet.Pass, id *ast.Ident, body *ast.BlockStmt) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}

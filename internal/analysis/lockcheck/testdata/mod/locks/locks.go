@@ -1,0 +1,72 @@
+// Package locks is a lockcheck fixture (the analyzer is module-wide; no
+// special import path needed).
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc holds the lock: fine.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// read does not: flagged.
+func (c *counter) read() int {
+	return c.n // want "guarded by c.mu"
+}
+
+// addLocked is exempt by the *Locked naming convention.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// fresh initializes a value that no other goroutine can see yet.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// closureBad: the goroutine body is its own function and holds nothing.
+func closureBad(c *counter) {
+	go func() {
+		c.n++ // want "guarded by c.mu"
+	}()
+}
+
+// closureGood: the closure takes the lock itself.
+func closureGood(c *counter) {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// gauge exercises the RWMutex + RLock path.
+type gauge struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (g *gauge) get() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// Malformed annotations are findings on the field itself.
+type wrong struct {
+	x int // guarded by missing — // want "not a field of this struct"
+}
+
+type notMutex struct {
+	l int
+	v int // guarded by l — // want "not a sync.Mutex"
+}

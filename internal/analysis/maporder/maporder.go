@@ -1,0 +1,235 @@
+// Package maporder flags Go map iterations whose order can leak into an
+// observable result in the determinism-scoped packages.
+//
+// The repository guarantees that solves are bit-identical for every
+// Parallelism value and across runs; Go randomizes map iteration order,
+// so a `range` over a map may only feed order-insensitive consumption
+// (counting, set membership) or a collection that is sorted afterwards.
+// The analyzer flags a map-range loop when its body
+//
+//   - appends to a slice declared outside the loop that is not passed to
+//     a sort.* / slices.Sort* call later in the same function,
+//   - returns from the enclosing function (which element won the race to
+//     be inspected first is nondeterministic), or
+//   - writes output (fmt.Fprint*, io.WriteString, or a Write*/Encode
+//     method call).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/reseedvet"
+)
+
+// scope is the set of determinism-scoped packages (matched by import-path
+// suffix): everything between a netlist and a wire Response whose output
+// must be bit-identical across runs and worker counts.
+var scope = []string{
+	"internal/setcover",
+	"internal/fsim",
+	"internal/dmatrix",
+	"internal/core",
+	"internal/engine",
+	"internal/store",
+	"internal/server",
+}
+
+var Analyzer = &reseedvet.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration order leaking into results in determinism-scoped packages",
+	Run:  run,
+}
+
+func run(pass *reseedvet.Pass) error {
+	if !pass.PathHasSuffix(scope...) {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function body (function literals are part of
+// their enclosing declaration's body and are visited with it; a sort in
+// the surrounding function still sanctions an append inside a literal).
+func checkFunc(pass *reseedvet.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Returns inside a function literal leave that literal, not the loop.
+	var litRanges [][2]token.Pos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Collect the loop body's order-sensitive sinks.
+	var appendTargets []*ast.Ident // outer-declared vars extended by append
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !inLit(n.Pos()) {
+				pass.Reportf(rng.Range,
+					"map iteration order decides this loop's return; iterate a sorted view instead")
+			}
+			return true
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, n); ok {
+				pass.Reportf(rng.Range,
+					"map iteration order reaches the output written by %s; iterate a sorted view instead", name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && declaredOutside(pass, id, rng) {
+					appendTargets = append(appendTargets, id)
+				}
+			}
+		}
+		return true
+	})
+	for _, id := range appendTargets {
+		if sortedAfter(pass, funcBody, rng, id) {
+			continue
+		}
+		pass.Reportf(rng.Range,
+			"map iteration order leaks into %q via append with no subsequent sort", id.Name)
+	}
+}
+
+// outputCall reports whether call writes output: fmt.Fprint*,
+// io.WriteString, or a method named Write*/Encode.
+func outputCall(pass *reseedvet.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkg, ok := sel.X.(*ast.Ident); ok {
+		if obj, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); isPkg {
+			switch {
+			case obj.Imported().Path() == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+				return "fmt." + name, true
+			case obj.Imported().Path() == "io" && name == "WriteString":
+				return "io.WriteString", true
+			}
+			return "", false
+		}
+	}
+	// A method call on some value: Write, WriteString, WriteByte,
+	// WriteRune, or Encode.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return "(method) " + name, true
+	}
+	return "", false
+}
+
+func isBuiltinAppend(pass *reseedvet.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredOutside reports whether id's object was declared outside the
+// range statement (so appends accumulate across iterations).
+func declaredOutside(pass *reseedvet.Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether, after the loop, the function passes id's
+// object to a sort.* or slices.* call — the sanctioned way to consume an
+// order-accumulating append.
+func sortedAfter(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, id *ast.Ident) bool {
+	target := pass.TypesInfo.Uses[id]
+	if target == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if aid, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[aid] == target {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				break
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestMaporder vets the fixture module with only this analyzer enabled and
+// matches the findings against the fixture's want comments, positive and
+// negative cases both.
+func TestMaporder(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "maporder")
+}

@@ -1,0 +1,73 @@
+// Package setcover is a maporder fixture: its import path suffix places
+// it in the determinism scope.
+package setcover
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys leaks map order through an unsorted append.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "via append with no subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// First leaks map order through a return inside the loop.
+func First(m map[string]int) string {
+	for k := range m { // want "decides this loop's return"
+		return k
+	}
+	return ""
+}
+
+// Dump leaks map order into written output.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "output written by fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// SortedKeys is the sanctioned form: the append is sorted afterwards.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total consumes the map order-insensitively.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Acknowledged shows the suppression directive on the line above.
+func Acknowledged(m map[string]int) []string {
+	var keys []string
+	//reseedvet:ignore maporder -- fixture: consumer treats this as a set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// LitReturn returns from a function literal, not from the loop — the
+// loop itself only counts elements.
+func LitReturn(m map[string]int) int {
+	n := 0
+	for k := range m {
+		f := func() int { return len(k) }
+		n += f()
+	}
+	return n
+}

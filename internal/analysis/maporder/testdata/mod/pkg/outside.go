@@ -1,0 +1,11 @@
+// Package pkg sits outside the determinism scope: the same patterns that
+// are findings in internal/setcover pass untouched here.
+package pkg
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

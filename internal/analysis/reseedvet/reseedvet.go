@@ -1,0 +1,133 @@
+// Package reseedvet is the repository's static-analysis framework: a
+// minimal, dependency-free analogue of golang.org/x/tools/go/analysis
+// plus the `go vet -vettool` driver protocol, built entirely on the
+// standard library (the build environment forbids external modules).
+//
+// The framework exists to enforce, mechanically, the invariants this
+// codebase's value rests on and that the compiler cannot see:
+//
+//  1. determinism — solves are bit-identical for every Parallelism value,
+//     so nothing order-dependent may leak out of a Go map iteration
+//     (maporder);
+//  2. cancellation — every potentially unbounded loop in a package whose
+//     options carry a context.Context must be able to observe
+//     cancellation (ctxloop);
+//  3. locking — fields documented as `// guarded by <mu>` may only be
+//     touched while that mutex is demonstrably held (lockcheck);
+//  4. wire stability — JSON wire types carry explicit, lowercase,
+//     collision-free tags and changing them requires touching a committed
+//     manifest (wiretag);
+//
+// plus an error-handling policy: silently discarded errors need a
+// same-line justification (errpolicy).
+//
+// # Suppressing a finding
+//
+// A diagnostic can be acknowledged in place with a directive comment on
+// the flagged line or the line immediately above it:
+//
+//	//reseedvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// See docs/DEVELOPING.md for the full contract of each analyzer.
+package reseedvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects the package in pass and
+// reports findings through pass.Reportf; returning an error aborts the
+// whole vet invocation (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string // short lowercase identifier, used in directives and output
+	Doc  string // one-paragraph description
+	Run  func(pass *Pass) error
+}
+
+// A Pass describes one analyzed package: its syntax, its type
+// information, and where it lives.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // all compiled files, tests included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Dir       string // package source directory
+	Module    string // module path, "" when unknown
+	ModuleDir string // module root directory (go.mod location), "" when unknown
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// SourceFiles returns the package's non-test files: the analyzers enforce
+// production invariants and deliberately leave _test.go files alone.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PathHasSuffix reports whether the analyzed package's import path ends in
+// one of the given slash-separated suffixes (e.g. "internal/setcover").
+// Matching by suffix rather than full path keeps analyzers testable from
+// fixture modules with a different module name.
+func (p *Pass) PathHasSuffix(suffixes ...string) bool {
+	path := p.Pkg.Path()
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorType is the universe error type, for result-signature checks.
+var ErrorType = types.Universe.Lookup("error").Type()
+
+// HasErrorResult reports whether t — a call's result type, which may be
+// a single type or a tuple — contains an error.
+func HasErrorResult(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), ErrorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, ErrorType)
+}
+
+// IsContextType reports whether t is context.Context (possibly through
+// named aliases).
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

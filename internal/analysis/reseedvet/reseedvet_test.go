@@ -1,0 +1,63 @@
+package reseedvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestApplyDirectives pins the suppression grammar without a vet run:
+// which lines a directive covers, multi-analyzer lists, the
+// same-analyzer-only rule, and the mandatory reason.
+func TestApplyDirectives(t *testing.T) {
+	const src = `package p
+
+//reseedvet:ignore maporder -- covers this line and the next
+var a int
+
+//reseedvet:ignore maporder,ctxloop -- multi-analyzer list
+var b int
+
+//reseedvet:ignore errpolicy
+var c int
+
+var d int //reseedvet:ignore lockcheck -- trailing form
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(line int) token.Pos { return fset.File(f.Package).LineStart(line) }
+
+	in := []Diagnostic{
+		{Analyzer: "maporder", Pos: at(4), Message: "suppressed by line 3"},
+		{Analyzer: "wiretag", Pos: at(4), Message: "different analyzer: survives"},
+		{Analyzer: "maporder", Pos: at(7), Message: "suppressed by multi list"},
+		{Analyzer: "ctxloop", Pos: at(7), Message: "suppressed by multi list"},
+		{Analyzer: "errpolicy", Pos: at(10), Message: "reasonless directive suppresses nothing"},
+		{Analyzer: "lockcheck", Pos: at(12), Message: "suppressed by trailing directive"},
+	}
+	out := applyDirectives(fset, []*ast.File{f}, in)
+
+	got := make(map[string][]int)
+	for _, d := range out {
+		got[d.Analyzer] = append(got[d.Analyzer], fset.Position(d.Pos).Line)
+	}
+	want := map[string][]int{
+		"wiretag":   {4},  // a directive only covers the analyzers it names
+		"reseedvet": {9},  // the reasonless directive is itself a finding
+		"errpolicy": {10}, // ... and suppresses nothing
+	}
+	for name, lines := range want {
+		if len(got[name]) != len(lines) || (len(lines) > 0 && got[name][0] != lines[0]) {
+			t.Errorf("%s diagnostics at %v, want %v", name, got[name], lines)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected surviving %s diagnostics at %v", name, got[name])
+		}
+	}
+}

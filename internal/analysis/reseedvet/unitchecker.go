@@ -1,0 +1,346 @@
+package reseedvet
+
+// The `go vet -vettool` driver. cmd/go speaks a small protocol to vet
+// tools:
+//
+//   - `tool -V=full` must print an identifying version line (cmd/go hashes
+//     it into the build cache key);
+//   - `tool -flags` must print a JSON array describing the tool's flags
+//     (cmd/go uses it to validate user-supplied analyzer flags);
+//   - `tool [flags] $WORK/.../vet.cfg` performs the analysis of one
+//     package. The cfg file is JSON describing the package: its files,
+//     its import map, and the export-data files of its dependencies,
+//     which cmd/go has already compiled. The tool must write the file
+//     named by VetxOutput (the "facts" output; this tool records none),
+//     print findings to stderr as "file:line:col: message", and exit
+//     non-zero iff it found something.
+//
+// This is the same protocol golang.org/x/tools/go/analysis/unitchecker
+// implements; reimplementing it here keeps the repository free of
+// external module dependencies. Type information comes from the standard
+// library's gc importer reading the export data cmd/go hands us, so the
+// analysis is as precise as the compiler's own view of the package.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to vet.cfg (the fields this
+// tool consumes; unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/reseedvet: a multichecker over the given
+// analyzers speaking the cmd/go vet protocol.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	// Hand-rolled flag handling: cmd/go probes -V=full and -flags as the
+	// sole argument, and otherwise passes (possibly) analyzer flags
+	// followed by exactly one vet.cfg path.
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// The version line cmd/go hashes into its build cache key. It must
+		// lead with os.Args[0] exactly as invoked (cmd/go compares the first
+		// field against the -vettool path), and it embeds a digest of the
+		// binary so rebuilding the tool invalidates cached vet results.
+		f, err := os.Open(os.Args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool-specific flags beyond the analyzer toggles.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var flags []jsonFlag
+		for _, a := range analyzers {
+			flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		out, err := json.Marshal(flags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	// Analyzer enable/disable flags (-maporder=false etc.); anything else
+	// before the cfg path is rejected.
+	enabled := make(map[string]bool, len(analyzers))
+	explicit := false
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var cfgPath string
+	for _, arg := range args {
+		if !strings.HasPrefix(arg, "-") {
+			if cfgPath != "" {
+				log.Fatalf("unexpected argument %q (want exactly one vet.cfg)", arg)
+			}
+			cfgPath = arg
+			continue
+		}
+		name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+		if _, ok := enabled[name]; !ok {
+			log.Fatalf("unknown flag %q", arg)
+		}
+		if !explicit {
+			// First explicit selection: switch from "all on" to "only the
+			// named ones", matching cmd/vet semantics.
+			for n := range enabled {
+				enabled[n] = false
+			}
+			explicit = true
+		}
+		enabled[name] = !hasVal || val == "true" || val == "1"
+	}
+	if cfgPath == "" || !strings.HasSuffix(cfgPath, ".cfg") {
+		log.Fatalf(`invoking reseedvet directly is unsupported; run it via "go vet -vettool=$(which reseedvet) ./..."`)
+	}
+
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	os.Exit(run(cfgPath, active))
+}
+
+func run(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+
+	// cmd/go declared VetxOutput as this action's product and caches it;
+	// the file must exist even though this tool records no facts and even
+	// when the package is fact-only (a dependency of the packages named on
+	// the command line).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("reseedvet: no facts\n"), 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []Diagnostic
+	moduleDir := findModuleDir(cfg.Dir)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Dir:       cfg.Dir,
+			Module:    cfg.ModulePath,
+			ModuleDir: moduleDir,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	diags = applyDirectives(fset, files, diags)
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(a, b int) bool {
+		pa, pb := fset.Position(diags[a].Pos), fset.Position(diags[b].Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		return diags[a].Analyzer < diags[b].Analyzer
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 1
+}
+
+// typecheck builds the package's type information from the export data
+// cmd/go compiled for its dependencies.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path has already been mapped through ImportMap by the importer
+		// function below.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// findModuleDir walks up from dir to the enclosing go.mod, so analyzers
+// (wiretag's manifest) can locate module-rooted resources. Returns ""
+// outside a module.
+func findModuleDir(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// ignoreRE matches the suppression directive. The reason after "--" is
+// mandatory: an acknowledged finding must say why it is acceptable.
+var ignoreRE = regexp.MustCompile(`^//reseedvet:ignore\s+([a-z0-9_,]+)\s*(?:--\s*(.*))?$`)
+
+// applyDirectives filters out diagnostics acknowledged by an
+// `//reseedvet:ignore <analyzers> -- <reason>` comment on the same line
+// or the line immediately above, and reports malformed directives.
+func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	ignored := make(map[key]bool)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					out = append(out, Diagnostic{
+						Analyzer: "reseedvet",
+						Pos:      c.Pos(),
+						Message:  `ignore directive needs a justification: "//reseedvet:ignore <analyzer> -- <reason>"`,
+					})
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					// The directive covers its own line and the next one,
+					// so it can trail the flagged statement or precede it.
+					ignored[key{pos.Filename, pos.Line, name}] = true
+					ignored[key{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ignored[key{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

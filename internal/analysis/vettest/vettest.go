@@ -1,0 +1,164 @@
+// Package vettest runs the real reseedvet binary over fixture modules —
+// the analyzer tests exercise the exact `go vet -vettool` path CI uses,
+// export data and all, rather than a synthetic loader.
+//
+// A fixture is a self-contained module under an analyzer's testdata
+// directory (cmd/go ignores testdata, so the repository's own builds and
+// vet runs never descend into one). Fixture files mark expected findings
+// with trailing comments:
+//
+//	for k := range m { // want "iteration order"
+//
+// Check runs one analyzer over the fixture and demands an exact match
+// both ways: every want comment must be hit by a finding on its line,
+// and every finding must be claimed by a want comment.
+package vettest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	toolPath  string
+	buildErr  error
+)
+
+// Tool builds cmd/reseedvet once per test process and returns its path.
+func Tool(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolPath = filepath.Join(os.TempDir(), fmt.Sprintf("reseedvet-test-%d", os.Getpid()))
+		cmd := exec.Command("go", "build", "-o", toolPath, "./cmd/reseedvet")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building reseedvet: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return toolPath
+}
+
+// Root returns the repository's module root (the directory of go.mod).
+func Root(t *testing.T) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// moduleRoot walks up from the working directory (the test's package dir)
+// to the repository's go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// findingRE matches one reseedvet output line:
+// path/file.go:12:3: message [analyzer]
+var findingRE = regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*) \[([a-z]+)\]$`)
+
+type finding struct {
+	file    string // basename
+	line    string
+	message string
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// Check vets the fixture module at dir (relative to the calling test's
+// package directory) with only the named analyzer enabled, then matches
+// the findings against the fixture's want comments.
+func Check(t *testing.T, dir, analyzer string) {
+	t.Helper()
+	tool := Tool(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-"+analyzer, "./...")
+	cmd.Dir = abs
+	out, _ := cmd.CombinedOutput() // non-zero exit just means findings
+
+	var got []finding
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := findingRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable vet output line: %q\nfull output:\n%s", line, out)
+		}
+		got = append(got, finding{file: filepath.Base(m[1]), line: m[2], message: m[3]})
+	}
+
+	type wantKey struct{ file, line string }
+	wants := make(map[wantKey]string)
+	err = filepath.Walk(abs, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				wants[wantKey{filepath.Base(path), fmt.Sprint(i + 1)}] = m[1]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make(map[wantKey]bool)
+	for _, f := range got {
+		k := wantKey{f.file, f.line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding at %s:%s: %s", f.file, f.line, f.message)
+			continue
+		}
+		if !strings.Contains(f.message, want) {
+			t.Errorf("finding at %s:%s = %q; want substring %q", f.file, f.line, f.message, want)
+		}
+		matched[k] = true
+	}
+	for k, want := range wants {
+		if !matched[k] {
+			t.Errorf("no finding at %s:%s (want substring %q)\nvet output:\n%s", k.file, k.line, want, out)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package engine is a wiretag fixture; its suffix places it in the wire
+// scope and the fixture module carries its own manifest. The stale
+// manifest entry (Response.Gone) is reported at the package clause.
+package engine // want "manifest entry fixture/internal/engine.Response.Gone has no corresponding wire field"
+
+// Request matches the manifest except for Count, whose manifest entry
+// says "tally".
+type Request struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"` // want "drifted from the manifest"
+}
+
+type Response struct {
+	Name    string `json:"name"`
+	Extra   string `json:"extra"` // want "not in the manifest"
+	Missing int    // want "needs an explicit json tag"
+	BadCase string `json:"BadCase"` // want "not lowercase"
+	Dup     string `json:"name"`    // want "collides with"
+	hidden  int    `json:"hidden"`  // want "ignored by encoding/json"
+	Skip    string `json:"-"`
+}
+
+// NotWire has no json tags anywhere, so it is not a wire type and its
+// untagged exported fields are fine.
+type NotWire struct {
+	A int
+	B string
+}

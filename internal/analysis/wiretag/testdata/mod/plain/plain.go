@@ -1,0 +1,8 @@
+// Package plain is outside the wire scope: tagged or not, its structs
+// are no concern of wiretag's.
+package plain
+
+type Loose struct {
+	Name    string `json:"Whatever"`
+	Untaged int
+}

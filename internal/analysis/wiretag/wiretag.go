@@ -1,0 +1,236 @@
+// Package wiretag enforces the stability of the repository's JSON wire
+// formats: the Request/Response pairs of the engine, the server's HTTP
+// bodies, and the store's on-disk records.
+//
+// A struct in a wire-scoped package counts as a wire type as soon as any
+// of its fields carries a `json` tag. For wire types the analyzer
+// requires:
+//
+//   - every exported field has an explicit json tag (no reliance on Go
+//     field-name defaulting, which turns a rename into a silent wire
+//     break);
+//   - tag names are lowercase snake_case ([a-z][a-z0-9_]*, or "-" to
+//     exclude a field);
+//   - no two fields of one struct share a tag name;
+//   - a json tag never sits on an unexported field (encoding/json ignores
+//     it — the tag is dead and misleading).
+//
+// # The manifest
+//
+// Named wire structs are additionally pinned by a committed manifest,
+// internal/analysis/wiretag/manifest.json, mapping
+// "<pkgpath>.<Type>.<Field>" to the tag name. Adding, renaming or
+// removing a wire field without the matching manifest edit is a finding,
+// so every deliberate wire-format change is visible in review as a
+// manifest diff. The manifest is looked up relative to the analyzed
+// package's module root; fixture modules without one skip the manifest
+// checks.
+package wiretag
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/reseedvet"
+)
+
+// scope lists the wire-bearing packages by import-path suffix.
+var scope = []string{
+	"internal/engine",
+	"internal/server",
+	"internal/store",
+	"internal/core",
+	"internal/setcover",
+	"internal/atpg",
+}
+
+// manifestRelPath is where the manifest lives relative to the module
+// root.
+const manifestRelPath = "internal/analysis/wiretag/manifest.json"
+
+var Analyzer = &reseedvet.Analyzer{
+	Name: "wiretag",
+	Doc:  "enforces explicit lowercase collision-free json tags on wire types, pinned by a committed manifest",
+	Run:  run,
+}
+
+var tagNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *reseedvet.Pass) error {
+	if !pass.PathHasSuffix(scope...) {
+		return nil
+	}
+	manifest, haveManifest := loadManifest(pass)
+	seen := make(map[string]bool) // manifest keys present in the code
+
+	for _, file := range pass.SourceFiles() {
+		// Map struct type nodes to their declared names.
+		names := make(map[*ast.StructType]string)
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				names[st] = ts.Name.Name
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, st, names[st], manifest, haveManifest, seen)
+			return true
+		})
+	}
+
+	if haveManifest {
+		// Reverse direction: every manifest entry for this package must
+		// still exist in the code, so removing or renaming a wire field
+		// forces a manifest edit.
+		prefix := pass.Pkg.Path() + "."
+		var stale []string
+		for key := range manifest {
+			if strings.HasPrefix(key, prefix) && !seen[key] {
+				stale = append(stale, key)
+			}
+		}
+		sort.Strings(stale)
+		for _, key := range stale {
+			pass.Reportf(pass.Files[0].Package,
+				"manifest entry %s has no corresponding wire field; removing or renaming a wire field requires updating %s", key, manifestRelPath)
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *reseedvet.Pass, st *ast.StructType, name string,
+	manifest map[string]string, haveManifest bool, seen map[string]bool) {
+
+	type taggedField struct {
+		field   *ast.Field
+		fname   string
+		tag     string // full json tag value
+		tagName string // first comma-separated element
+		pos     token.Pos
+	}
+	var fields []taggedField
+	anyTag := false
+	for _, f := range st.Fields.List {
+		tag := jsonTag(f)
+		if tag != "" {
+			anyTag = true
+		}
+		fnames := make([]string, 0, 1)
+		for _, n := range f.Names {
+			fnames = append(fnames, n.Name)
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: its name is the (possibly qualified) type
+			// name's base.
+			fnames = append(fnames, embeddedName(f.Type))
+		}
+		for _, fn := range fnames {
+			tagName, _, _ := strings.Cut(tag, ",")
+			fields = append(fields, taggedField{f, fn, tag, tagName, f.Pos()})
+		}
+	}
+	if !anyTag {
+		return // not a wire type
+	}
+
+	used := make(map[string]token.Pos)
+	for _, tf := range fields {
+		exported := ast.IsExported(tf.fname)
+		switch {
+		case tf.tag == "" && exported:
+			pass.Reportf(tf.pos,
+				"exported field %s of wire struct %s needs an explicit json tag", tf.fname, displayName(name))
+			continue
+		case tf.tag != "" && !exported:
+			pass.Reportf(tf.pos,
+				"json tag %q on unexported field %s is ignored by encoding/json; remove it or export the field", tf.tagName, tf.fname)
+			continue
+		case tf.tag == "":
+			continue
+		}
+		if tf.tagName != "-" && !tagNameRE.MatchString(tf.tagName) {
+			pass.Reportf(tf.pos,
+				"json tag %q on %s.%s is not lowercase snake_case ([a-z][a-z0-9_]*)", tf.tagName, displayName(name), tf.fname)
+		}
+		if tf.tagName != "-" && tf.tagName != "" {
+			if prev, dup := used[tf.tagName]; dup {
+				pass.Reportf(tf.pos,
+					"json tag %q on %s.%s collides with the field at %s", tf.tagName, displayName(name), tf.fname,
+					pass.Fset.Position(prev))
+			}
+			used[tf.tagName] = tf.pos
+		}
+		if haveManifest && name != "" && tf.tagName != "-" && tf.tagName != "" {
+			key := fmt.Sprintf("%s.%s.%s", pass.Pkg.Path(), name, tf.fname)
+			seen[key] = true
+			want, ok := manifest[key]
+			switch {
+			case !ok:
+				pass.Reportf(tf.pos,
+					"wire field %s (json tag %q) is not in the manifest; deliberate wire changes must update %s", key, tf.tagName, manifestRelPath)
+			case want != tf.tagName:
+				pass.Reportf(tf.pos,
+					"json tag %q on %s drifted from the manifest (%q); changing a wire name must update %s", tf.tagName, key, want, manifestRelPath)
+			}
+		}
+	}
+}
+
+func displayName(name string) string {
+	if name == "" {
+		return "(anonymous)"
+	}
+	return name
+}
+
+func embeddedName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+func jsonTag(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	return reflect.StructTag(raw).Get("json")
+}
+
+func loadManifest(pass *reseedvet.Pass) (map[string]string, bool) {
+	if pass.ModuleDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(pass.ModuleDir, filepath.FromSlash(manifestRelPath)))
+	if err != nil {
+		return nil, false
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		pass.Reportf(pass.Files[0].Package, "unreadable wiretag manifest %s: %v", manifestRelPath, err)
+		return nil, false
+	}
+	return m, true
+}

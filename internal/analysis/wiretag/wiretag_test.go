@@ -1,0 +1,14 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestWiretag vets the fixture module with only this analyzer enabled and
+// matches the findings against the fixture's want comments, positive and
+// negative cases both.
+func TestWiretag(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "wiretag")
+}

@@ -29,8 +29,8 @@ import (
 // use. A Group must not be copied after first use.
 type Group[K comparable, V any] struct {
 	mu      sync.Mutex
-	entries map[K]*entry[V]
-	limit   int
+	entries map[K]*entry[V] // guarded by mu
+	limit   int             // guarded by mu
 }
 
 type entry[V any] struct {

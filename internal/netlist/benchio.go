@@ -140,6 +140,6 @@ func Write(w io.Writer, c *Circuit) error {
 // Format renders the circuit as a .bench string.
 func Format(c *Circuit) string {
 	var b strings.Builder
-	_ = Write(&b, c)
+	_ = Write(&b, c) // infallible: strings.Builder writes never fail
 	return b.String()
 }

@@ -1,0 +1,51 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench drives the .bench reader with arbitrary text. The
+// properties under test:
+//
+//  1. Parse never panics and never returns a non-finalized circuit
+//     without an error — whatever the input;
+//  2. accepted circuits round-trip: Format is itself parseable and
+//     preserves the structural counts, and a second round trip is a
+//     fixed point (Format ∘ Parse is idempotent).
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(G0)\nOUTPUT(G1)\nG1 = NOT(G0)\n")
+	f.Add("# c17-ish\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nn1 = NAND(a, b)\nz = NAND(n1, b)\n")
+	f.Add("INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n")
+	f.Add("INPUT(x)\nOUTPUT(y)\ny = BUF(x)\n# trailing comment")
+	f.Add("G0 = AND(G0)\n")        // self-loop
+	f.Add("OUTPUT(missing)\n")     // undeclared signal
+	f.Add("G1 = NAND(G2\n")        // unbalanced parens
+	f.Add("INPUT(a)\nINPUT(a)\n")  // duplicate declaration
+	f.Add(strings.Repeat("#", 64)) // comment-only
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString("fuzz", src)
+		if err != nil {
+			return // rejected input; only the absence of panics is asserted
+		}
+		if !c.Finalized() {
+			t.Fatal("Parse returned a non-finalized circuit without error")
+		}
+		text := Format(c)
+		// Same name on the re-parse: Format embeds it in the header comment.
+		c2, err := ParseString("fuzz", text)
+		if err != nil {
+			t.Fatalf("Format produced unparseable output: %v\n%s", err, text)
+		}
+		if c2.NumGates() != c.NumGates() || len(c2.Inputs) != len(c.Inputs) ||
+			len(c2.Outputs) != len(c.Outputs) || len(c2.DFFs) != len(c.DFFs) {
+			t.Fatalf("round trip changed structure: gates %d→%d inputs %d→%d outputs %d→%d dffs %d→%d",
+				c.NumGates(), c2.NumGates(), len(c.Inputs), len(c2.Inputs),
+				len(c.Outputs), len(c2.Outputs), len(c.DFFs), len(c2.DFFs))
+		}
+		if again := Format(c2); again != text {
+			t.Fatalf("Format not a fixed point after one round trip:\nfirst:\n%s\nsecond:\n%s", text, again)
+		}
+	})
+}

@@ -85,7 +85,7 @@ func (t *Table) RenderCSV(w io.Writer) error {
 // String renders the table to a string.
 func (t *Table) String() string {
 	var b strings.Builder
-	_ = t.Render(&b)
+	_ = t.Render(&b) // infallible: strings.Builder writes never fail
 	return b.String()
 }
 

@@ -43,13 +43,13 @@ type job struct {
 	cancel  context.CancelFunc
 
 	mu       sync.Mutex
-	state    jobState
-	started  time.Time
-	finished time.Time
-	best     *engine.Incumbent // latest anytime snapshot, nil before the first
-	bestAt   time.Time
-	resp     *engine.Response
-	errMsg   string
+	state    jobState          // guarded by mu
+	started  time.Time         // guarded by mu
+	finished time.Time         // guarded by mu
+	best     *engine.Incumbent // guarded by mu; latest anytime snapshot, nil before the first
+	bestAt   time.Time         // guarded by mu
+	resp     *engine.Response  // guarded by mu
+	errMsg   string            // guarded by mu
 }
 
 // observe is the incumbent callback threaded into the exact solver; it
@@ -108,17 +108,18 @@ func (j *job) view() jobView {
 }
 
 // jobTable owns every live job. Finished jobs are retained (so their
-// Response stays fetchable) up to the configured bound, then evicted
-// oldest first.
+// Response stays fetchable) up to the configured bound, then evicted in
+// order of finish time.
 type jobTable struct {
 	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // creation order, for eviction
-	nextID int
-	limit  int
+	jobs   map[string]*job // guarded by mu
+	nextID int             // guarded by mu
+	limit  int             // guarded by mu
 }
 
 func (t *jobTable) init(limit int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.jobs = make(map[string]*job)
 	t.limit = limit
 }
@@ -135,37 +136,54 @@ func (t *jobTable) create(req engine.Request, cancel context.CancelFunc) *job {
 		state:   jobQueued,
 	}
 	t.jobs[j.id] = j
-	t.order = append(t.order, j.id)
 	t.evictLocked()
 	return j
 }
 
-// evictLocked drops the oldest finished jobs while over the limit. Queued
-// and running jobs are never evicted, so the table can transiently exceed
-// the limit when more than limit jobs are active at once.
+// evictLocked drops finished jobs — oldest finish time first, ids
+// breaking ties — while the table is over the limit. Queued and running
+// jobs are never evicted, so the table can transiently exceed the limit
+// when more than limit jobs are active at once.
 func (t *jobTable) evictLocked() {
 	if len(t.jobs) <= t.limit {
 		return
 	}
-	keep := t.order[:0]
-	for _, id := range t.order {
-		j, ok := t.jobs[id]
-		if !ok {
-			continue
-		}
-		if len(t.jobs) > t.limit && j.snapshotState().finished() {
-			delete(t.jobs, id)
-			continue
-		}
-		keep = append(keep, id)
+	type ended struct {
+		id  string
+		end time.Time
 	}
-	t.order = keep
+	var done []ended
+	for id, j := range t.jobs {
+		if st, end := j.snapshotFinish(); st.finished() {
+			done = append(done, ended{id, end})
+		}
+	}
+	sort.Slice(done, func(a, b int) bool {
+		if !done[a].end.Equal(done[b].end) {
+			return done[a].end.Before(done[b].end)
+		}
+		return done[a].id < done[b].id
+	})
+	for _, d := range done {
+		if len(t.jobs) <= t.limit {
+			break
+		}
+		delete(t.jobs, d.id)
+	}
 }
 
 func (j *job) snapshotState() jobState {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// snapshotFinish returns the state together with the finish time, so the
+// eviction pass reads both under one acquisition.
+func (j *job) snapshotFinish() (jobState, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.finished
 }
 
 func (t *jobTable) get(id string) (*job, bool) {
@@ -175,7 +193,10 @@ func (t *jobTable) get(id string) (*job, bool) {
 	return j, ok
 }
 
-func (t *jobTable) list() []jobView {
+// snapshot returns the table's jobs in id order. Ids are zero-padded
+// creation counters, so this is also creation order; every reader goes
+// through here to keep list output and aggregate scans deterministic.
+func (t *jobTable) snapshot() []*job {
 	t.mu.Lock()
 	jobs := make([]*job, 0, len(t.jobs))
 	for _, j := range t.jobs {
@@ -183,6 +204,11 @@ func (t *jobTable) list() []jobView {
 	}
 	t.mu.Unlock()
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	return jobs
+}
+
+func (t *jobTable) list() []jobView {
+	jobs := t.snapshot()
 	views := make([]jobView, len(jobs))
 	for i, j := range jobs {
 		views[i] = j.view()
@@ -191,14 +217,8 @@ func (t *jobTable) list() []jobView {
 }
 
 func (t *jobTable) countByState() map[string]int {
-	t.mu.Lock()
-	jobs := make([]*job, 0, len(t.jobs))
-	for _, j := range t.jobs {
-		jobs = append(jobs, j)
-	}
-	t.mu.Unlock()
 	out := map[string]int{}
-	for _, j := range jobs {
+	for _, j := range t.snapshot() {
 		out[string(j.snapshotState())]++
 	}
 	return out
@@ -206,14 +226,8 @@ func (t *jobTable) countByState() map[string]int {
 
 // active counts jobs not yet finished (the drain condition).
 func (t *jobTable) active() int {
-	t.mu.Lock()
-	jobs := make([]*job, 0, len(t.jobs))
-	for _, j := range t.jobs {
-		jobs = append(jobs, j)
-	}
-	t.mu.Unlock()
 	n := 0
-	for _, j := range jobs {
+	for _, j := range t.snapshot() {
 		if !j.snapshotState().finished() {
 			n++
 		}
@@ -281,20 +295,20 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.create(req, cancel)
 	go s.runJob(ctx, j)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusAccepted, j.view())
+	s.writeJSON(w, http.StatusAccepted, j.view())
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.view())
+	s.writeJSON(w, http.StatusOK, j.view())
 }
 
 // handleJobDelete cancels a job. Cancelling a finished job is a no-op that
@@ -302,9 +316,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
 	j.cancel()
-	writeJSON(w, http.StatusOK, j.view())
+	s.writeJSON(w, http.StatusOK, j.view())
 }

@@ -13,8 +13,9 @@ import (
 // exposition is hand-rolled Prometheus text format — one small daemon does
 // not need a client library dependency.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[requestKey]int64
+	mu           sync.Mutex
+	requests     map[requestKey]int64 // guarded by mu
+	encodeErrors int64                // guarded by mu; response bodies that failed to encode mid-write
 }
 
 type requestKey struct {
@@ -29,6 +30,20 @@ func (m *metrics) incRequest(route string, code int) {
 	}
 	m.requests[requestKey{route, code}]++
 	m.mu.Unlock()
+}
+
+// incEncodeError counts a response body that failed to encode after the
+// status line was sent — unreportable to that client, so it surfaces here.
+func (m *metrics) incEncodeError() {
+	m.mu.Lock()
+	m.encodeErrors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) totalEncodeErrors() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.encodeErrors
 }
 
 func (m *metrics) totalRequests() int64 {
@@ -74,6 +89,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, k := range keys {
 		fmt.Fprintf(w, "reseedd_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, reqs[k])
 	}
+
+	fmt.Fprintf(w, "# HELP reseedd_response_encode_errors_total Response bodies that failed to encode after the status line was sent.\n")
+	fmt.Fprintf(w, "# TYPE reseedd_response_encode_errors_total counter\n")
+	fmt.Fprintf(w, "reseedd_response_encode_errors_total %d\n", s.metrics.totalEncodeErrors())
 
 	fmt.Fprintf(w, "# HELP reseedd_solves_in_flight Solves currently holding an admission slot.\n")
 	fmt.Fprintf(w, "# TYPE reseedd_solves_in_flight gauge\n")

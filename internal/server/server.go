@@ -237,12 +237,19 @@ func (s *Server) solveCtx(r *http.Request) (context.Context, context.CancelFunc)
 
 // ---- encoding helpers ----
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes one response body. The status line is already out by
+// the time Encode can fail, so the error cannot reach the client — it is
+// counted instead (reseedd_response_encode_errors_total in /metrics), per
+// the repository's error policy: an error a client could care about must
+// flow into a counter or a return, never a blank identifier.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is out; nothing left to do on error
+	if err := enc.Encode(v); err != nil {
+		s.metrics.incEncodeError()
+	}
 }
 
 // errorBody is the uniform error response shape.
@@ -257,17 +264,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var reqErr *engine.RequestError
 	switch {
 	case errors.As(err, &reqErr):
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Field: reqErr.Field})
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Field: reqErr.Field})
 	case errors.Is(err, errBusy):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// A solve cut off before any solution existed — a draining server
 		// or a dropped client, not a solver failure. (When the client is
 		// gone the code is moot; when the server drains it matters.)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 
@@ -289,7 +296,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
@@ -318,7 +325,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // batchRequest and batchResult are the /v1/batch wire shapes. Results are
@@ -362,7 +369,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	results := make([]batchResult, len(batch.Requests))
 	workers := parallel.Degree(s.cfg.BatchParallelism)
-	_ = parallel.ForEach(workers, len(batch.Requests), func(_, i int) error {
+	_ = parallel.ForEach(workers, len(batch.Requests), func(_, i int) error { // infallible: the worker fn below always returns nil
 		resp, err := s.eng.Solve(ctx, batch.Requests[i])
 		if err != nil {
 			results[i] = batchResult{Error: err.Error()}
@@ -371,7 +378,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil // sibling instances proceed regardless
 	})
-	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	s.writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -404,5 +411,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			out.Store = &storeStats{Dir: s.cfg.Store.Dir(), Flows: flows, Matrices: matrices}
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }

@@ -165,10 +165,10 @@ type engine struct {
 	sharedCost atomic.Int64
 
 	mu          sync.Mutex
-	bestRows    []int
-	bestCost    int
-	bestBranch  int
-	onIncumbent func(Incumbent)
+	bestRows    []int           // guarded by mu
+	bestCost    int             // guarded by mu
+	bestBranch  int             // guarded by mu
+	onIncumbent func(Incumbent) // set once at construction, fired under mu
 }
 
 func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts ExactOptions) *engine {
@@ -490,12 +490,16 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 	}
 
 	finish := func() Solution {
+		// Workers may still be draining when an expired solve returns, so
+		// even this final read of the incumbent takes the lock.
+		e.mu.Lock()
 		sol := Solution{
-			Rows:    append([]int(nil), e.bestRows...),
-			Cost:    e.bestCost,
-			Optimal: !e.truncated.Load(),
-			Nodes:   e.nodes.Load(),
+			Rows: append([]int(nil), e.bestRows...),
+			Cost: e.bestCost,
 		}
+		e.mu.Unlock()
+		sol.Optimal = !e.truncated.Load()
+		sol.Nodes = e.nodes.Load()
 		sort.Ints(sol.Rows)
 		return sol
 	}
@@ -523,13 +527,16 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 		e.record(rootCost, rootChosen, -1)
 		return finish(), nil
 	}
-	if rootCost+e.lowerBound(rootInfos, banned) >= e.bestCost {
+	// The incumbent is still the greedy seed here — nothing has recorded
+	// yet — so compare against greedy.Cost rather than reading e.bestCost
+	// outside its lock.
+	if rootCost+e.lowerBound(rootInfos, banned) >= greedy.Cost {
 		return finish(), nil // the greedy seed is proven optimal
 	}
 
 	rows := e.branchCandidates(branchCol, uncovered, banned)
 	workers := parallel.Degree(opts.Parallelism)
-	_ = parallel.ForEach(workers, len(rows), func(_, i int) error {
+	_ = parallel.ForEach(workers, len(rows), func(_, i int) error { // infallible: the worker fn below always returns nil
 		if e.stop.Load() {
 			return nil
 		}
