@@ -58,6 +58,8 @@ func main() {
 			"worker goroutines for fault simulation, matrix construction and the covering solve (0 = all processors)")
 		solveBudget = flag.Duration("solve-budget", 0,
 			"wall-clock budget for the exact covering solve; truncated solves return the best cover found (0 = none)")
+		bound = flag.String("bound", "",
+			"exact solver lower bound: auto (lagrangian, the default) or counting; the cover is bit-identical either way")
 	)
 	flag.Parse()
 
@@ -76,6 +78,7 @@ func main() {
 		Objective:   *objectv,
 		NoTrim:      *noTrim,
 		SolveBudget: *solveBudget,
+		Bound:       *bound,
 	}
 	if *file != "" {
 		src, err := os.ReadFile(*file)

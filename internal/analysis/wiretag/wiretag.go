@@ -49,6 +49,7 @@ var scope = []string{
 	"internal/store",
 	"internal/core",
 	"internal/setcover",
+	"internal/setcover/corpus",
 	"internal/atpg",
 }
 

@@ -186,6 +186,21 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// ForEachIn calls fn for every element of s ∩ o in ascending order, without
+// materializing the intersection — the covering engine's "walk a row's
+// still-uncovered columns" primitive (one AND per word, then bit scanning).
+func (s *Set) ForEachIn(o *Set, fn func(i int)) {
+	s.checkSame("ForEachIn", o)
+	for wi, w := range s.words {
+		w &= o.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
 // Elements returns the elements in ascending order.
 func (s *Set) Elements() []int {
 	out := make([]int, 0, s.Len())

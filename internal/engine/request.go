@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/setcover"
 )
 
 // Request is a serializable reseeding query: every field is a plain value,
@@ -53,6 +54,15 @@ type Request struct {
 	// SolveBudget bounds the exact covering solve's wall-clock time
 	// (anytime contract; serialized as integer nanoseconds).
 	SolveBudget time.Duration `json:"solve_budget,omitempty"`
+	// Bound selects the exact solver's lower bound: "" or "auto"
+	// (Lagrangian, the default), "lagrangian", "counting". Never part of a
+	// cache key: completed solves return bit-identical covers in every
+	// mode — the bound only changes how much tree is searched.
+	Bound string `json:"bound,omitempty"`
+	// AscentIters overrides the root subgradient budget of the Lagrangian
+	// bound (0 = solver default, negative = warm start only). Ignored for
+	// Bound "counting".
+	AscentIters int `json:"ascent_iters,omitempty"`
 }
 
 // CircuitInfo describes the resolved unit under test of a Response.
@@ -153,6 +163,17 @@ func (req Request) coreOptions() (core.Options, error) {
 	default:
 		return opts, fmt.Errorf("engine: unknown objective %q", req.Objective)
 	}
+	switch req.Bound {
+	case "", "auto":
+		opts.Exact.Bound = setcover.BoundAuto
+	case "lagrangian":
+		opts.Exact.Bound = setcover.BoundLagrangian
+	case "counting":
+		opts.Exact.Bound = setcover.BoundCounting
+	default:
+		return opts, fmt.Errorf("engine: unknown bound %q", req.Bound)
+	}
+	opts.Exact.AscentIters = req.AscentIters
 	opts.Exact.MaxNodes = req.MaxNodes
 	opts.Exact.TimeBudget = req.SolveBudget
 	return opts, nil

@@ -60,6 +60,12 @@ func (req Request) Validate() error {
 		errs = append(errs, badField("objective",
 			"unknown objective %q (known: triplets, testlength)", req.Objective))
 	}
+	switch req.Bound {
+	case "", "auto", "lagrangian", "counting":
+	default:
+		errs = append(errs, badField("bound",
+			"unknown bound %q (known: auto, lagrangian, counting)", req.Bound))
+	}
 	if req.Cycles < 0 {
 		errs = append(errs, badField("cycles", "negative evolution length %d", req.Cycles))
 	}

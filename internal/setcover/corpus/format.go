@@ -1,0 +1,194 @@
+package corpus
+
+// The canonical ".scp" text form of an instance. The format is
+// deliberately line-oriented and whitespace-exact, so "byte-identical" is
+// a meaningful determinism contract for the generator and the committed
+// corpus files:
+//
+//	c reseedcover scp v1
+//	c params rows=R cols=C density=D costs=unit|uniform maxcost=M seed=S
+//	p scp <numRows> <numCols>
+//	w <cost per row, numRows integers>
+//	r <ascending column indices>        (one line per row, in row order)
+//
+// Comment lines other than the recognized header/params are ignored on
+// parse, but Format never emits any — Format ∘ Parse is the identity on
+// canonical bytes.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/setcover"
+)
+
+const formatHeader = "c reseedcover scp v1"
+
+// Format renders the instance in canonical .scp form. The bytes depend
+// only on the instance contents, never on the environment.
+func Format(w io.Writer, inst *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "c params rows=%d cols=%d density=%s costs=%s maxcost=%d seed=%d\n",
+		inst.Params.Rows, inst.Params.Cols,
+		strconv.FormatFloat(inst.Params.Density, 'g', -1, 64),
+		inst.Params.Costs, inst.Params.maxCost(), inst.Params.Seed)
+	fmt.Fprintf(bw, "p scp %d %d\n", inst.Problem.NumRows(), inst.Problem.NumCols())
+	bw.WriteString("w")
+	for _, c := range inst.Costs {
+		fmt.Fprintf(bw, " %d", c)
+	}
+	bw.WriteByte('\n')
+	for i := 0; i < inst.Problem.NumRows(); i++ {
+		bw.WriteString("r")
+		inst.Problem.Row(i).ForEach(func(j int) { fmt.Fprintf(bw, " %d", j) })
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// FormatString is Format into a string.
+func FormatString(inst *Instance) string {
+	var sb strings.Builder
+	_ = Format(&sb, inst) // infallible: strings.Builder writes cannot fail
+	return sb.String()
+}
+
+// Parse reads an instance in .scp form. The name is the caller's label
+// (typically the file stem); the embedded params line, when present,
+// restores Instance.Params so determinism tests can regenerate and
+// compare.
+func Parse(name string, r io.Reader) (*Instance, error) {
+	inst := &Instance{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		numRows, numCols int
+		rowsSeen         int
+		sawProblem       bool
+	)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "c":
+			if len(fields) >= 2 && fields[1] == "params" {
+				if err := inst.parseParams(fields[2:]); err != nil {
+					return nil, fmt.Errorf("corpus: %s:%d: %v", name, line, err)
+				}
+			}
+		case "p":
+			if sawProblem {
+				return nil, fmt.Errorf("corpus: %s:%d: duplicate problem line", name, line)
+			}
+			if len(fields) != 4 || fields[1] != "scp" {
+				return nil, fmt.Errorf("corpus: %s:%d: malformed problem line %q", name, line, text)
+			}
+			var err1, err2 error
+			numRows, err1 = strconv.Atoi(fields[2])
+			numCols, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || numRows < 0 || numCols < 0 {
+				return nil, fmt.Errorf("corpus: %s:%d: bad problem dimensions %q", name, line, text)
+			}
+			sawProblem = true
+			inst.Problem = setcover.NewProblem(numCols)
+		case "w":
+			if !sawProblem {
+				return nil, fmt.Errorf("corpus: %s:%d: weights before problem line", name, line)
+			}
+			if len(fields)-1 != numRows {
+				return nil, fmt.Errorf("corpus: %s:%d: %d weights for %d rows", name, line, len(fields)-1, numRows)
+			}
+			inst.Costs = make([]int, 0, numRows)
+			for _, f := range fields[1:] {
+				c, err := strconv.Atoi(f)
+				if err != nil || c < 1 {
+					return nil, fmt.Errorf("corpus: %s:%d: bad cost %q", name, line, f)
+				}
+				inst.Costs = append(inst.Costs, c)
+			}
+		case "r":
+			if !sawProblem {
+				return nil, fmt.Errorf("corpus: %s:%d: row before problem line", name, line)
+			}
+			if rowsSeen == numRows {
+				return nil, fmt.Errorf("corpus: %s:%d: more than %d rows", name, line, numRows)
+			}
+			set := bitvec.NewSet(numCols)
+			prev := -1
+			for _, f := range fields[1:] {
+				j, err := strconv.Atoi(f)
+				if err != nil || j < 0 || j >= numCols {
+					return nil, fmt.Errorf("corpus: %s:%d: bad column %q", name, line, f)
+				}
+				if j <= prev {
+					return nil, fmt.Errorf("corpus: %s:%d: columns not strictly ascending at %d", name, line, j)
+				}
+				prev = j
+				set.Add(j)
+			}
+			inst.Problem.AddRow(set)
+			rowsSeen++
+		default:
+			return nil, fmt.Errorf("corpus: %s:%d: unknown line kind %q", name, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %s: %v", name, err)
+	}
+	switch {
+	case !sawProblem:
+		return nil, fmt.Errorf("corpus: %s: no problem line", name)
+	case rowsSeen != numRows:
+		return nil, fmt.Errorf("corpus: %s: %d rows declared, %d given", name, numRows, rowsSeen)
+	case inst.Costs == nil:
+		return nil, fmt.Errorf("corpus: %s: no weights line", name)
+	}
+	return inst, nil
+}
+
+func (inst *Instance) parseParams(kvs []string) error {
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("malformed param %q", kv)
+		}
+		var err error
+		switch k {
+		case "rows":
+			inst.Params.Rows, err = strconv.Atoi(v)
+		case "cols":
+			inst.Params.Cols, err = strconv.Atoi(v)
+		case "density":
+			inst.Params.Density, err = strconv.ParseFloat(v, 64)
+		case "costs":
+			switch v {
+			case "unit":
+				inst.Params.Costs = CostUnit
+			case "uniform":
+				inst.Params.Costs = CostUniform
+			default:
+				err = fmt.Errorf("unknown cost class %q", v)
+			}
+		case "maxcost":
+			inst.Params.MaxCost, err = strconv.Atoi(v)
+		case "seed":
+			inst.Params.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return fmt.Errorf("unknown param %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("param %q: %v", kv, err)
+		}
+	}
+	return nil
+}

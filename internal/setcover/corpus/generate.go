@@ -1,0 +1,196 @@
+// Package corpus is the committed set-covering instance corpus and its
+// Balas–Ho-style generator: graded random instances (easy → medium → hard →
+// open) with golden optimal costs, the standing measuring stick for the
+// exact solver's lower bounds.
+//
+// The generator follows the recipe of Balas and Ho ("Set covering
+// algorithms using cutting planes, heuristics, and subgradient
+// optimization", Math. Programming 1980) as popularized by the Gasse et
+// al. benchmark generators: a rows×cols 0/1 matrix of target density where
+// every column is coverable by at least two rows and every row covers at
+// least one column, with unit or uniformly random integer row costs.
+// Generation is seeded and byte-reproducible: the same Params always
+// produce the same instance, the canonical text form (Format) is stable
+// down to the byte, and generating a whole tier fans out across the
+// internal/parallel pool with per-instance seeds, so the output is
+// identical for every Parallelism value.
+//
+// Terminology matches internal/setcover: ROWS cover COLUMNS (the
+// transpose of the LP literature, where rows are covering constraints).
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/setcover"
+)
+
+// CostClass selects the row-cost distribution of a generated instance.
+type CostClass int
+
+const (
+	// CostUnit gives every row cost 1 (minimum-cardinality covering).
+	CostUnit CostClass = iota
+	// CostUniform draws integer row costs uniformly from [1, MaxCost]
+	// (minimum-weight covering).
+	CostUniform
+)
+
+func (c CostClass) String() string {
+	switch c {
+	case CostUnit:
+		return "unit"
+	case CostUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("CostClass(%d)", int(c))
+	}
+}
+
+// Params fully determine one generated instance.
+type Params struct {
+	// Rows is the number of covering rows (sets). At least 2, so every
+	// column can get the two covering rows Balas–Ho instances guarantee.
+	Rows int
+	// Cols is the number of columns to cover (elements).
+	Cols int
+	// Density is the target fraction of ones in the Rows×Cols incidence
+	// matrix, in (0, 1]. The guarantee floors (two rows per column, one
+	// column per row) may push the real density slightly above tiny
+	// targets.
+	Density float64
+	// Costs selects the row-cost class.
+	Costs CostClass
+	// MaxCost is the inclusive cost ceiling for CostUniform (ignored for
+	// CostUnit); 0 means 100, the Balas–Ho convention.
+	MaxCost int
+	// Seed drives the deterministic generation.
+	Seed int64
+}
+
+func (p Params) maxCost() int {
+	if p.MaxCost == 0 {
+		return 100
+	}
+	return p.MaxCost
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Rows < 2:
+		return fmt.Errorf("corpus: need at least 2 rows, got %d", p.Rows)
+	case p.Cols < 1:
+		return fmt.Errorf("corpus: need at least 1 column, got %d", p.Cols)
+	case !(p.Density > 0 && p.Density <= 1):
+		return fmt.Errorf("corpus: density %v outside (0, 1]", p.Density)
+	case p.Costs != CostUnit && p.Costs != CostUniform:
+		return fmt.Errorf("corpus: unknown cost class %d", int(p.Costs))
+	case p.MaxCost < 0:
+		return fmt.Errorf("corpus: negative max cost %d", p.MaxCost)
+	}
+	return nil
+}
+
+// Instance is one set-covering instance of the corpus: the problem, its
+// per-row costs, and the parameters that generated it (zero Params for
+// instances parsed from a source that omitted them).
+type Instance struct {
+	Name    string
+	Params  Params
+	Costs   []int // one positive cost per row; all 1 for CostUnit
+	Problem *setcover.Problem
+}
+
+// Weights returns the cost slice in the form the solvers take: nil for a
+// unit-cost instance (SolveExact), the per-row costs otherwise
+// (SolveExactWeighted).
+func (inst *Instance) Weights() []int {
+	for _, c := range inst.Costs {
+		if c != 1 {
+			return inst.Costs
+		}
+	}
+	return nil
+}
+
+// Generate builds the instance determined by params. The same params
+// always yield the same instance; Format renders it to canonical bytes.
+func Generate(name string, params Params) (*Instance, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(params.Seed))
+	R, C := params.Rows, params.Cols
+
+	// Distribute the nonzeros over the columns: two per column guaranteed,
+	// the remainder spread uniformly (rejecting full columns).
+	nnz := int(math.Round(params.Density * float64(R) * float64(C)))
+	if nnz < 2*C {
+		nnz = 2 * C
+	}
+	if nnz > R*C {
+		nnz = R * C
+	}
+	perCol := make([]int, C)
+	for j := range perCol {
+		perCol[j] = 2
+	}
+	full := 0
+	for extra := nnz - 2*C; extra > 0 && full < C; {
+		j := rng.Intn(C)
+		if perCol[j] < R {
+			perCol[j]++
+			extra--
+			if perCol[j] == R {
+				full++
+			}
+		}
+	}
+
+	// Pick each column's rows by partial Fisher–Yates over a reusable
+	// permutation — perCol[j] distinct rows, order-independent because the
+	// row sets are bit sets.
+	rowCols := make([][]int, R)
+	perm := make([]int, R)
+	for j := 0; j < C; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		for k := 0; k < perCol[j]; k++ {
+			i := k + rng.Intn(R-k)
+			perm[k], perm[i] = perm[i], perm[k]
+			rowCols[perm[k]] = append(rowCols[perm[k]], j)
+		}
+	}
+	// Balas–Ho guarantee: no useless rows. A row that covers nothing gets
+	// one uniformly chosen column (it cannot already contain it).
+	for r := range rowCols {
+		if len(rowCols[r]) == 0 {
+			rowCols[r] = append(rowCols[r], rng.Intn(C))
+		}
+	}
+
+	costs := make([]int, R)
+	for r := range costs {
+		costs[r] = 1
+	}
+	if params.Costs == CostUniform {
+		for r := range costs {
+			costs[r] = 1 + rng.Intn(params.maxCost())
+		}
+	}
+
+	p := setcover.NewProblem(C)
+	set := bitvec.NewSet(C)
+	for _, cols := range rowCols {
+		set.Clear()
+		for _, j := range cols {
+			set.Add(j)
+		}
+		p.AddRow(set)
+	}
+	return &Instance{Name: name, Params: params, Costs: costs, Problem: p}, nil
+}

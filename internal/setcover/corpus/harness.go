@@ -1,0 +1,233 @@
+package corpus
+
+// The bounds harness: every corpus instance solved under both lower-bound
+// modes, the measurements serialized as the repository's first committed
+// perf-trajectory file, BENCH_bounds.json. Node counts and costs are
+// deterministic at Parallelism 1; wall times are environmental and
+// recorded for trend reading only.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"repro/internal/setcover"
+)
+
+// BenchSchema identifies the BENCH_bounds.json format.
+const BenchSchema = "reseedcover-bench-bounds/v1"
+
+// DefaultOpenNodeBudget bounds each open-tier solve: enough tree to make
+// the anytime best-so-far meaningful, small enough to keep the harness
+// seconds-fast.
+const DefaultOpenNodeBudget = 50_000
+
+// BenchOptions tunes a RunBounds sweep.
+type BenchOptions struct {
+	// Parallelism is handed to every solve (1 = serial, the deterministic
+	// node-count setting the committed file uses; 0 = one worker per
+	// processor).
+	Parallelism int
+	// OpenNodeBudget truncates open-tier solves (0 = DefaultOpenNodeBudget).
+	OpenNodeBudget int64
+	// Tiers restricts the sweep (nil = every tier).
+	Tiers []Tier
+}
+
+// BoundRun is one (instance, bound mode) measurement.
+type BoundRun struct {
+	// Nodes is the branch-and-bound node count of the solve.
+	Nodes int64 `json:"nodes"`
+	// WallMS is the solve's wall-clock time in milliseconds (environment
+	// dependent; read trends, not digits).
+	WallMS float64 `json:"wall_ms"`
+	// Cost is the returned cover's cost.
+	Cost int `json:"cost"`
+	// Optimal reports whether optimality was proven within the budget.
+	Optimal bool `json:"optimal"`
+	// RootLB is the root lower bound of the solve (see
+	// setcover.Solution.RootLB).
+	RootLB int `json:"root_lb"`
+	// Tightness is RootLB/Cost — 1.0 means the root bound alone proved
+	// the optimum.
+	Tightness float64 `json:"tightness"`
+}
+
+// InstanceResult is one instance's row of the trajectory file.
+type InstanceResult struct {
+	ID      string `json:"id"`
+	Tier    Tier   `json:"tier"`
+	Rows    int    `json:"rows"`
+	Cols    int    `json:"cols"`
+	Density string `json:"density"`
+	Costs   string `json:"costs"`
+	// Golden is the committed optimal cost (absent for open instances).
+	Golden *int `json:"golden,omitempty"`
+	// Counting and Lagrangian are the two bound modes' measurements over
+	// the same instance.
+	Counting   BoundRun `json:"counting"`
+	Lagrangian BoundRun `json:"lagrangian"`
+}
+
+// BenchSummary aggregates the acceptance numbers.
+type BenchSummary struct {
+	// HardNodesCounting / HardNodesLagrangian are total nodes over the
+	// hard tier; HardNodeReduction is their ratio — the ≥5x acceptance
+	// criterion of the Lagrangian bound.
+	HardNodesCounting   int64   `json:"hard_nodes_counting"`
+	HardNodesLagrangian int64   `json:"hard_nodes_lagrangian"`
+	HardNodeReduction   float64 `json:"hard_node_reduction"`
+	// TotalNodesCounting / TotalNodesLagrangian cover every solved
+	// instance in the sweep.
+	TotalNodesCounting   int64 `json:"total_nodes_counting"`
+	TotalNodesLagrangian int64 `json:"total_nodes_lagrangian"`
+}
+
+// Bench is the whole trajectory document.
+type Bench struct {
+	Schema string `json:"schema"`
+	// GeneratedAt is the RFC3339 run timestamp.
+	GeneratedAt string `json:"generated_at"`
+	// Parallelism echoes BenchOptions.Parallelism.
+	Parallelism int `json:"parallelism"`
+	// OpenNodeBudget echoes the open-tier truncation budget.
+	OpenNodeBudget int64            `json:"open_node_budget"`
+	Instances      []InstanceResult `json:"instances"`
+	Summary        BenchSummary     `json:"summary"`
+}
+
+// solveOne runs one instance under one bound mode.
+func solveOne(inst *Instance, mode setcover.BoundMode, maxNodes int64, parallelism int) (setcover.Solution, time.Duration, error) {
+	opts := setcover.ExactOptions{
+		Bound:       mode,
+		MaxNodes:    maxNodes,
+		Parallelism: parallelism,
+	}
+	start := time.Now()
+	var (
+		sol setcover.Solution
+		err error
+	)
+	if w := inst.Weights(); w != nil {
+		sol, err = inst.Problem.SolveExactWeighted(w, opts)
+	} else {
+		sol, err = inst.Problem.SolveExact(opts)
+	}
+	return sol, time.Since(start), err
+}
+
+func toRun(sol setcover.Solution, wall time.Duration) BoundRun {
+	r := BoundRun{
+		Nodes:   sol.Nodes,
+		WallMS:  float64(wall.Microseconds()) / 1000,
+		Cost:    sol.Cost,
+		Optimal: sol.Optimal,
+		RootLB:  sol.RootLB,
+	}
+	if sol.Cost > 0 {
+		r.Tightness = float64(sol.RootLB) / float64(sol.Cost)
+	}
+	return r
+}
+
+// RunBounds sweeps the committed corpus under both bound modes and
+// returns the trajectory document. It is also a cross-check: completed
+// solves must agree with each other (bit-identical rows — the bound only
+// prunes) and with the golden manifest; any disagreement is an error, so
+// the CI harness run doubles as a solver gate.
+func RunBounds(opts BenchOptions) (*Bench, error) {
+	if opts.OpenNodeBudget == 0 {
+		opts.OpenNodeBudget = DefaultOpenNodeBudget
+	}
+	golden, err := GoldenManifest()
+	if err != nil {
+		return nil, err
+	}
+	bench := &Bench{
+		Schema:         BenchSchema,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		Parallelism:    opts.Parallelism,
+		OpenNodeBudget: opts.OpenNodeBudget,
+	}
+	for _, spec := range Specs() {
+		if opts.Tiers != nil && !slices.Contains(opts.Tiers, spec.Tier) {
+			continue
+		}
+		inst, err := Load(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		var budget int64
+		if spec.Tier == TierOpen {
+			budget = opts.OpenNodeBudget
+		}
+		res := InstanceResult{
+			ID:      spec.Name,
+			Tier:    spec.Tier,
+			Rows:    inst.Problem.NumRows(),
+			Cols:    inst.Problem.NumCols(),
+			Density: fmt.Sprintf("%g", spec.Params.Density),
+			Costs:   spec.Params.Costs.String(),
+		}
+		cSol, cWall, err := solveOne(inst, setcover.BoundCounting, budget, opts.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s counting: %w", spec.Name, err)
+		}
+		lSol, lWall, err := solveOne(inst, setcover.BoundLagrangian, budget, opts.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s lagrangian: %w", spec.Name, err)
+		}
+		if cSol.Optimal && lSol.Optimal {
+			if cSol.Cost != lSol.Cost || !slices.Equal(cSol.Rows, lSol.Rows) {
+				return nil, fmt.Errorf("corpus: %s: bound modes disagree: counting %v (cost %d) vs lagrangian %v (cost %d)",
+					spec.Name, cSol.Rows, cSol.Cost, lSol.Rows, lSol.Cost)
+			}
+		}
+		if g, ok := golden[spec.Name]; ok && g.Optimal != nil {
+			if cSol.Optimal && cSol.Cost != *g.Optimal {
+				return nil, fmt.Errorf("corpus: %s: counting solve cost %d != golden %d", spec.Name, cSol.Cost, *g.Optimal)
+			}
+			if lSol.Optimal && lSol.Cost != *g.Optimal {
+				return nil, fmt.Errorf("corpus: %s: lagrangian solve cost %d != golden %d", spec.Name, lSol.Cost, *g.Optimal)
+			}
+			opt := *g.Optimal
+			res.Golden = &opt
+		}
+		res.Counting = toRun(cSol, cWall)
+		res.Lagrangian = toRun(lSol, lWall)
+		bench.Instances = append(bench.Instances, res)
+
+		bench.Summary.TotalNodesCounting += cSol.Nodes
+		bench.Summary.TotalNodesLagrangian += lSol.Nodes
+		if spec.Tier == TierHard {
+			bench.Summary.HardNodesCounting += cSol.Nodes
+			bench.Summary.HardNodesLagrangian += lSol.Nodes
+		}
+	}
+	if bench.Summary.HardNodesLagrangian > 0 {
+		bench.Summary.HardNodeReduction =
+			float64(bench.Summary.HardNodesCounting) / float64(bench.Summary.HardNodesLagrangian)
+	}
+	return bench, nil
+}
+
+// WriteJSON renders the document in the committed two-space-indent form.
+func (b *Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ParseBench reads a BENCH_bounds.json document and checks its schema.
+func ParseBench(r io.Reader) (*Bench, error) {
+	var b Bench
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("corpus: bench document: %w", err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("corpus: bench document schema %q, want %q", b.Schema, BenchSchema)
+	}
+	return &b, nil
+}

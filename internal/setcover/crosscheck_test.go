@@ -6,6 +6,7 @@ package setcover
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -88,6 +89,42 @@ func TestCrossCheckBruteForce(t *testing.T) {
 				t.Errorf("trial %d: %s did not prove optimality on a tiny instance", trial, name)
 			}
 		}
+		// Both bound modes must return bit-identical solutions: the bound
+		// only prunes, it never changes what the search finds.
+		for name, base := range map[string]Solution{"SolveExact": exact, "SolveExactWeighted": wexact} {
+			w := weights
+			if name == "SolveExact" {
+				w = nil
+			}
+			for _, mode := range []BoundMode{BoundCounting, BoundLagrangian} {
+				var got Solution
+				var err error
+				if w == nil {
+					got, err = p.SolveExact(ExactOptions{Bound: mode})
+				} else {
+					got, err = p.SolveExactWeighted(w, ExactOptions{Bound: mode})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != base.Cost || got.Optimal != base.Optimal || !slices.Equal(got.Rows, base.Rows) {
+					t.Fatalf("trial %d: %s bound=%v diverged: rows %v cost %d optimal %v, want rows %v cost %d optimal %v",
+						trial, name, mode, got.Rows, got.Cost, got.Optimal, base.Rows, base.Cost, base.Optimal)
+				}
+			}
+		}
+		// The dual bound is a true lower bound on the brute-force optimum.
+		if lb, err := p.DualBound(nil, 0); err != nil {
+			t.Fatal(err)
+		} else if lb > wantCard {
+			t.Errorf("trial %d: DualBound %d exceeds optimum %d", trial, lb, wantCard)
+		}
+		if lb, err := p.DualBound(weights, 0); err != nil {
+			t.Fatal(err)
+		} else if lb > wantWeight {
+			t.Errorf("trial %d: weighted DualBound %d exceeds optimum %d", trial, lb, wantWeight)
+		}
+
 		if exact.Cost != wantCard || len(exact.Rows) != wantCard {
 			t.Errorf("trial %d: SolveExact cost %d, brute force %d", trial, exact.Cost, wantCard)
 		}
@@ -132,11 +169,27 @@ func FuzzCrossCheck(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := bruteForceWeighted(p, weights); wexact.Cost != want {
-			t.Fatalf("SolveExactWeighted cost %d, brute force %d", wexact.Cost, want)
+		wantWeight := bruteForceWeighted(p, weights)
+		if wexact.Cost != wantWeight {
+			t.Fatalf("SolveExactWeighted cost %d, brute force %d", wexact.Cost, wantWeight)
 		}
 		if !p.Verify(exact.Rows) || !p.Verify(wexact.Rows) {
 			t.Fatal("invalid cover")
+		}
+		for _, mode := range []BoundMode{BoundCounting, BoundLagrangian} {
+			got, err := p.SolveExact(ExactOptions{Bound: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cost != exact.Cost || got.Optimal != exact.Optimal || !slices.Equal(got.Rows, exact.Rows) {
+				t.Fatalf("bound=%v diverged: rows %v cost %d, want rows %v cost %d",
+					mode, got.Rows, got.Cost, exact.Rows, exact.Cost)
+			}
+		}
+		if lb, err := p.DualBound(weights, 0); err != nil {
+			t.Fatal(err)
+		} else if lb > wantWeight {
+			t.Fatalf("DualBound %d exceeds optimum %d", lb, wantWeight)
 		}
 	})
 }

@@ -101,9 +101,44 @@ type ExactOptions struct {
 	// solve, so observers see whole-solution totals.
 	OnIncumbent func(Incumbent)
 
+	// Bound selects the lower bound the search prunes with: BoundAuto (the
+	// default) and BoundLagrangian use the Lagrangian dual bound — root
+	// subgradient multipliers priced into every node's residual, combined
+	// with the counting bound by max — while BoundCounting keeps the
+	// combinatorial bound alone (the corpus harness's baseline). The mode
+	// changes Nodes and wall time only: completed solves return
+	// bit-identical Rows/Cost/Optimal in every mode.
+	Bound BoundMode
+	// AscentIters is the subgradient budget of the root multiplier ascent
+	// (Lagrangian modes only). 0 means the default (64); negative means no
+	// ascent — the warm-start multipliers are used as-is.
+	AscentIters int
+	// AscentPerNode is the number of task-local refinement steps applied to
+	// the root multipliers at every branch node before its dual value is
+	// read (Lagrangian modes only). 0 means the default (2); negative means
+	// evaluation only.
+	AscentPerNode int
+
 	// noSiblingExclusion disables the duplicate-sibling-subtree fix so its
 	// node-count reduction is assertable. Test hook only.
 	noSiblingExclusion bool
+}
+
+// ascentBudgets resolves the zero-default/negative-disable convention of
+// the two ascent knobs.
+func (o ExactOptions) ascentBudgets() (root, perNode int) {
+	root, perNode = o.AscentIters, o.AscentPerNode
+	if root == 0 {
+		root = defaultAscentIters
+	} else if root < 0 {
+		root = 0
+	}
+	if perNode == 0 {
+		perNode = defaultAscentPerNode
+	} else if perNode < 0 {
+		perNode = 0
+	}
+	return root, perNode
 }
 
 // WithIncumbentOffset returns options whose OnIncumbent snapshots are
@@ -156,6 +191,15 @@ type engine struct {
 	timed    bool
 	ctx      context.Context
 
+	// Lagrangian dual bound state. rootMult is written once by the root
+	// ascent before the parallel fan-out and read-only afterwards; each
+	// task refines a private copy.
+	dual          bool
+	ascentRoot    int
+	ascentPerNode int
+	rootMult      []float64
+	rootLB        int // rootCost + root lower bound: a global LB on the optimum
+
 	nodes     atomic.Int64 // shared node budget and effort counter
 	stop      atomic.Bool  // raised by budget, deadline or context
 	truncated atomic.Bool  // some subtree was cut off: optimality unproven
@@ -187,6 +231,8 @@ func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts Exac
 	if e.maxNodes == 0 {
 		e.maxNodes = defaultMaxNodes
 	}
+	e.dual = opts.Bound != BoundCounting
+	e.ascentRoot, e.ascentPerNode = opts.ascentBudgets()
 	if opts.TimeBudget > 0 {
 		e.deadline = time.Now().Add(opts.TimeBudget)
 		e.timed = true
@@ -416,6 +462,23 @@ type bbTask struct {
 	// infos is the column-scan scratch, reused across the task's DFS: a
 	// node is done with it before its children run.
 	infos []colAvail
+	// ds is the task's dual workspace (Lagrangian modes only, allocated on
+	// first use): a private multiplier copy refined per node.
+	ds *dualScratch
+}
+
+// dualBound re-prices the node's residual with the shared root multipliers,
+// refines a task-private copy with a few conservative ascent steps, and
+// returns the rounded dual value. It depends only on the node's state and
+// the task-local incumbent, so serial node counts are deterministic.
+func (t *bbTask) dualBound(cost int, uncovered, banned *bitvec.Set) int {
+	e := t.e
+	if t.ds == nil {
+		t.ds = newDualScratch(e.p.numCols)
+	}
+	copy(t.ds.u, e.rootMult)
+	best := e.dualAscend(t.ds, uncovered, banned, float64(t.localBound-cost), e.ascentPerNode, nodeAgility)
+	return dualRound(best)
 }
 
 // search explores a subtree. chosen/cost describe the committed path,
@@ -448,9 +511,19 @@ func (t *bbTask) search(chosen []int, cost int, uncovered, banned *bitvec.Set) {
 		}
 		return
 	}
+	// The counting bound is cheap; the dual bound is evaluated only when
+	// counting fails to prune, and the stronger of the two rules the node.
 	lb := e.lowerBound(t.infos, banned)
 	if cost+lb >= t.localBound || int64(cost+lb) > e.sharedCost.Load() {
 		return
+	}
+	if e.dual {
+		if dlb := t.dualBound(cost, uncovered, banned); dlb > lb {
+			lb = dlb
+			if cost+lb >= t.localBound || int64(cost+lb) > e.sharedCost.Load() {
+				return
+			}
+		}
 	}
 
 	rows := e.branchCandidates(branchCol, uncovered, banned)
@@ -500,6 +573,7 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 		e.mu.Unlock()
 		sol.Optimal = !e.truncated.Load()
 		sol.Nodes = e.nodes.Load()
+		sol.RootLB = e.rootLB
 		sort.Ints(sol.Rows)
 		return sol
 	}
@@ -524,13 +598,28 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 	if branchCol < 0 {
 		// Essential rows alone cover everything; they are in every cover,
 		// so this is the optimum. The greedy seed can only tie or lose.
+		e.rootLB = rootCost
 		e.record(rootCost, rootChosen, -1)
 		return finish(), nil
 	}
+	rootBound := e.lowerBound(rootInfos, banned)
+	if e.dual {
+		// Root multiplier ascent: warm-start from the cheapest-row shares,
+		// climb toward the greedy upper bound, and publish the multipliers
+		// for every task to re-price its residuals with.
+		s := newDualScratch(p.numCols)
+		e.dualInit(s.u, uncovered, banned)
+		best := e.dualAscend(s, uncovered, banned, float64(greedy.Cost-rootCost), e.ascentRoot, rootAgility)
+		e.rootMult = s.u
+		if d := dualRound(best); d > rootBound {
+			rootBound = d
+		}
+	}
+	e.rootLB = rootCost + rootBound
 	// The incumbent is still the greedy seed here — nothing has recorded
 	// yet — so compare against greedy.Cost rather than reading e.bestCost
 	// outside its lock.
-	if rootCost+e.lowerBound(rootInfos, banned) >= greedy.Cost {
+	if rootCost+rootBound >= greedy.Cost {
 		return finish(), nil // the greedy seed is proven optimal
 	}
 

@@ -127,8 +127,22 @@ type Options = core.Options
 
 // ExactOptions tunes the exact covering solver reachable through
 // Options.Exact: node budget, wall-clock budget and cancellation context
-// (the anytime contract), plus the branch-and-bound worker-pool fan-out.
+// (the anytime contract), the branch-and-bound worker-pool fan-out, and
+// the lower-bound mode (BoundMode).
 type ExactOptions = setcover.ExactOptions
+
+// BoundMode selects the exact solver's lower bound (ExactOptions.Bound).
+// Completed solves return bit-identical covers in every mode; only the
+// searched node count and wall time differ.
+type BoundMode = setcover.BoundMode
+
+// The bound modes: the default Lagrangian dual bound (BoundAuto,
+// BoundLagrangian) and the counting baseline (BoundCounting).
+const (
+	BoundAuto       = setcover.BoundAuto
+	BoundLagrangian = setcover.BoundLagrangian
+	BoundCounting   = setcover.BoundCounting
+)
 
 // ATPGOptions configures the deterministic test generation step.
 type ATPGOptions = atpg.Options
