@@ -11,7 +11,10 @@
 package main
 
 import (
+	"repro/internal/analysis/atomicguard"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/detsource"
 	"repro/internal/analysis/errpolicy"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/maporder"
@@ -26,5 +29,8 @@ func main() {
 		lockcheck.Analyzer,
 		wiretag.Analyzer,
 		errpolicy.Analyzer,
+		detsource.Analyzer,
+		ctxflow.Analyzer,
+		atomicguard.Analyzer,
 	)
 }

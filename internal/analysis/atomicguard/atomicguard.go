@@ -1,0 +1,203 @@
+// Package atomicguard enforces all-or-nothing atomicity: once any code
+// updates a field or package-level variable through sync/atomic, every
+// access to it must go through sync/atomic. A plain read races with the
+// atomic writers (the race detector only catches it when a test happens
+// to interleave); a plain write can be lost entirely. The shared-incumbent
+// pattern in internal/setcover's portfolio engine is exactly the shape
+// this guards — workers publishing through atomic operations while
+// another goroutine is tempted to read the field directly.
+//
+// The analyzer records an AtomicFact for each field of a package-level
+// struct type and each package-level variable whose address is taken in a
+// sync/atomic call, so mixed access is caught across package boundaries:
+// the package that wraps a counter in atomic.AddInt64 and the package
+// that reads it plainly are usually not the same one.
+//
+// Accesses inside sync/atomic call arguments are the sanctioned form.
+// Composite-literal keys (Counter{hits: 0}) are exempt: construction
+// happens before the value is shared. Aliased access through a stored
+// pointer is invisible, as everywhere in reseedvet.
+//
+// The repository's own code prefers the typed atomics (atomic.Int64,
+// atomic.Bool) whose method set makes mixed access inexpressible; this
+// analyzer exists for the addressed-integer style that predates them and
+// still appears in third-party-shaped code.
+package atomicguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/reseedvet"
+)
+
+var Analyzer = &reseedvet.Analyzer{
+	Name:      "atomicguard",
+	Doc:       "a field or variable ever accessed through sync/atomic must never be read or written plainly",
+	Run:       run,
+	FactTypes: []reseedvet.Fact{&AtomicFact{}},
+}
+
+// An AtomicFact marks an object (struct field or package-level var) as
+// managed through sync/atomic. Witness names one atomic access, for the
+// diagnostic at the mixed-access site.
+type AtomicFact struct {
+	Witness string // "file.go:line" of one sync/atomic access
+}
+
+func (*AtomicFact) AFact() {}
+
+type posRange struct{ lo, hi token.Pos }
+
+func run(pass *reseedvet.Pass) error {
+	// Pass 1 over every function body and initializer: find sync/atomic
+	// calls, record their extents (accesses inside them are sanctioned)
+	// and resolve their &x.f / &v arguments to the guarded objects.
+	var sanctioned []posRange
+	guarded := make(map[types.Object]string) // object -> witness
+	skipKeys := make(map[*ast.Ident]bool)    // composite-literal field keys
+
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							skipKeys[id] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !isAtomicCall(pass, n) {
+					return true
+				}
+				sanctioned = append(sanctioned, posRange{n.Pos(), n.End()})
+				for _, arg := range n.Args {
+					unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || unary.Op != token.AND {
+						continue
+					}
+					if obj := guardableObject(pass, unary.X); obj != nil {
+						if _, have := guarded[obj]; !have {
+							p := pass.Fset.Position(n.Pos())
+							guarded[obj] = fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Export facts for this package's own objects (facts attach where the
+	// object is declared; atomic use of a foreign object still guards it
+	// within this unit through the local map). Sorted for a deterministic
+	// walk, though the fact encoder sorts again itself.
+	objs := make([]types.Object, 0, len(guarded))
+	for obj := range guarded {
+		if obj.Pkg() == pass.Pkg {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		return reseedvet.ObjectPath(objs[i]) < reseedvet.ObjectPath(objs[j])
+	})
+	for _, obj := range objs {
+		pass.ExportObjectFact(obj, &AtomicFact{Witness: guarded[obj]})
+	}
+
+	inSanctioned := func(pos token.Pos) bool {
+		for _, r := range sanctioned {
+			if r.lo <= pos && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every remaining use of a guarded object — local or imported
+	// fact — is a mixed access.
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || skipKeys[id] {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || inSanctioned(id.Pos()) {
+				return true
+			}
+			witness, hit := guarded[obj]
+			if !hit && obj.Pkg() != nil && obj.Pkg() != pass.Pkg {
+				var fact AtomicFact
+				if pass.ImportObjectFact(obj, &fact) {
+					witness, hit = fact.Witness, true
+				}
+			}
+			if hit {
+				pass.Reportf(id.Pos(),
+					"%s is managed with sync/atomic (%s); this plain access can race with the atomic operations — use the matching sync/atomic call",
+					displayName(obj), witness)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call statically invokes a package-level
+// function of sync/atomic.
+func isAtomicCall(pass *reseedvet.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// guardableObject resolves the operand of an & argument to a guardable
+// object: a struct field, or a package-level variable. Locals are skipped
+// — they cannot be reached from another package and mixing on a local is
+// visible within one screen of code.
+func guardableObject(pass *reseedvet.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified pkg.Var: Sel resolves directly.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && isPackageLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// displayName renders the guarded object for a diagnostic:
+// "pkg.Type.Field" or "pkg.Var".
+func displayName(obj types.Object) string {
+	if path := reseedvet.ObjectPath(obj); path != "" && obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + path
+	}
+	return obj.Name()
+}

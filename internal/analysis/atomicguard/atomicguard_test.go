@@ -1,0 +1,16 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestAtomicguard vets the fixture module with only this analyzer enabled
+// and matches findings against want comments. The reader package's
+// findings depend entirely on AtomicFacts exported by the state package;
+// the fixture also carries a stale suppression to pin the framework's
+// stale-directive finding end to end.
+func TestAtomicguard(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "atomicguard")
+}

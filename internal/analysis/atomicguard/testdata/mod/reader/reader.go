@@ -1,0 +1,43 @@
+// Package reader never calls sync/atomic on Counter.Hits itself — every
+// finding here exists only because state's AtomicFacts crossed the
+// package boundary.
+package reader
+
+import (
+	"sync/atomic"
+
+	"atomfix/state"
+)
+
+// Peek is the cross-package race: a plain read of a field the owning
+// package only ever touches atomically.
+func Peek(c *state.Counter) int64 {
+	return c.Hits // want "state.Counter.Hits is managed with sync/atomic (state.go:15); this plain access can race"
+}
+
+// PeekTotal does the same to the package-level variable.
+func PeekTotal() int64 {
+	return state.Total // want "state.Total is managed with sync/atomic"
+}
+
+// Proper goes through the owner's accessor.
+func Proper(c *state.Counter) int64 { return c.Get() }
+
+// peeks is this package's own atomically-managed variable; consistently
+// atomic use is clean no matter which package guards the object.
+var peeks int64
+
+// ProperAtomic counts atomically and reads through the owner's accessor.
+func ProperAtomic(c *state.Counter) int64 {
+	atomic.AddInt64(&peeks, 1)
+	return c.Get()
+}
+
+// Label reads the unguarded field; only Hits is convicted, not the struct.
+func Label(c *state.Counter) string { return c.Name }
+
+// Quiet carries a suppression left over from a refactor that removed the
+// plain access it justified; the directive itself is now the finding.
+//
+//reseedvet:ignore atomicguard -- leftover: the plain read moved behind Get() // want "stale ignore directive: suppresses no atomicguard finding"
+func Quiet(c *state.Counter) int64 { return c.Get() }

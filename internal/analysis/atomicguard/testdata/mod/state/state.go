@@ -1,0 +1,33 @@
+// Package state owns the atomically-managed objects; the facts exported
+// here are what convict the plain accesses in the reader package.
+package state
+
+import "sync/atomic"
+
+// Counter is the shared-incumbent shape: Hits is published through
+// sync/atomic, Name is plain data set at construction.
+type Counter struct {
+	Hits int64
+	Name string
+}
+
+// Inc is the atomic writer; its call is the recorded witness.
+func (c *Counter) Inc() { atomic.AddInt64(&c.Hits, 1) }
+
+// Get is the sanctioned reader.
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.Hits) }
+
+// Total is a package-level variable managed the same way.
+var Total int64
+
+// BumpTotal guards Total.
+func BumpTotal() { atomic.AddInt64(&Total, 1) }
+
+// Sloppy mixes in a plain read right next to the atomic users.
+func Sloppy(c *Counter) int64 {
+	return c.Hits // want "state.Counter.Hits is managed with sync/atomic (state.go:15); this plain access can race"
+}
+
+// Fresh constructs a Counter; composite-literal keys are construction,
+// not shared access, and stay clean.
+func Fresh() *Counter { return &Counter{Hits: 0, Name: "fresh"} }

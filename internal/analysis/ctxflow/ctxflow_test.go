@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestCtxflow vets the fixture module with only this analyzer enabled and
+// matches findings against want comments. The capable callees live in a
+// separate package so acceptsContext runs off export data, as it does in
+// the real tree.
+func TestCtxflow(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "ctxflow")
+}

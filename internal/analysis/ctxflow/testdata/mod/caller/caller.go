@@ -1,0 +1,80 @@
+// Package caller exercises both ctxflow findings and every sanctioned
+// shape that must stay clean.
+package caller
+
+import (
+	"context"
+
+	"ctxfix/work"
+)
+
+// saved stands in for a context stored at construction time (the
+// server's baseCtx pattern); package-level initializers are entry-point
+// territory and not ctxflow's concern.
+var saved = context.Background()
+
+// Conjure receives a context and conjures another: the caller's deadline
+// never reaches work.Do.
+func Conjure(ctx context.Context, n int) int {
+	return work.Do(context.Background(), n) // want "Conjure already receives a context but calls context.Background"
+}
+
+// ConjureTODO is the same break with the other root constructor.
+func ConjureTODO(ctx context.Context, n int) int {
+	return work.Do(context.TODO(), n) // want "ConjureTODO already receives a context but calls context.TODO"
+}
+
+// Dropped never touches ctx while handing work.Run an options struct that
+// could have carried it.
+func Dropped(ctx context.Context, n int) int { // want "context parameter ctx is never threaded: Dropped calls work.Run, which accepts a context"
+	return work.Run(work.Opts{N: n})
+}
+
+// DroppedDirect never touches ctx while calling a callee with a direct
+// context parameter (fed from storage instead).
+func DroppedDirect(ctx context.Context, n int) int { // want "context parameter ctx is never threaded: DroppedDirect calls work.Do, which accepts a context"
+	return work.Do(saved, n)
+}
+
+// Threaded is the contract kept: the parameter flows into the callee.
+func Threaded(ctx context.Context, n int) int {
+	return work.Do(ctx, n)
+}
+
+// ThreadedOpts flows the parameter through the options struct.
+func ThreadedOpts(ctx context.Context, n int) int {
+	return work.Run(work.Opts{Context: ctx, N: n})
+}
+
+// Normalize is the sanctioned assignment-form nil normalization.
+func Normalize(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work.Do(ctx, n)
+}
+
+// OrBackground is the sanctioned return-form nil normalization.
+func OrBackground(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background()
+}
+
+// Blank declares the drop in the signature itself — visible, so allowed.
+func Blank(_ context.Context, n int) int {
+	return work.Run(work.Opts{N: n})
+}
+
+// Captured threads the context through a closure; capture counts as use.
+func Captured(ctx context.Context, n int) int {
+	f := func() int { return work.Do(ctx, n) }
+	return f()
+}
+
+// NoCapableCallee drops its context but calls nothing that could carry
+// one; pointless, not a broken chain.
+func NoCapableCallee(ctx context.Context, n int) int {
+	return work.Pure(n)
+}

@@ -1,0 +1,33 @@
+// Package work holds the context-capable callees; the caller package
+// imports it so capability detection runs off export data, the way it
+// does across real package boundaries.
+package work
+
+import "context"
+
+// Opts is the options-struct idiom: a context rides in a field.
+type Opts struct {
+	Context context.Context
+	N       int
+}
+
+// Do accepts a context directly.
+func Do(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+		return n
+	}
+}
+
+// Run accepts a context through its options struct.
+func Run(o Opts) int {
+	if o.Context != nil {
+		return Do(o.Context, o.N)
+	}
+	return o.N
+}
+
+// Pure accepts no context at all.
+func Pure(n int) int { return n * 2 }

@@ -1,0 +1,336 @@
+// Package detsource is the interprocedural determinism gate: it computes,
+// for every function in the module, whether calling it can touch a source
+// of nondeterminism, and forbids any such reach from the
+// determinism-scoped packages (reseedvet.DeterminismScope) — the solver
+// core whose outputs must be bit-identical across runs, Parallelism
+// values and warm restarts.
+//
+// # Sources
+//
+//   - the wall clock: time.Now, time.Since, time.Until;
+//   - unseeded randomness: any package-level function of math/rand,
+//     math/rand/v2 or crypto/rand (methods on an explicitly seeded
+//     *rand.Rand are deterministic and exempt — that is the sanctioned
+//     idiom, see dmatrix and the corpus generator);
+//   - the environment: os.Getenv, os.LookupEnv, os.Environ;
+//   - map iteration order escaping a range loop, per maporder.Escapes —
+//     the exact definition the maporder analyzer enforces in scope.
+//
+// # Reachability
+//
+// The analyzer exports a NondetFact for every function whose body touches
+// a source directly or calls — across any number of package hops — a
+// function that does. Fact files ride the `go vet` build graph
+// (reseedvet's facts system), so when a determinism-scoped package calls
+// a helper three modules deep that quietly reaches time.Now, the finding
+// lands at the call site in the scoped package, naming the chain.
+//
+// Dynamic calls (function values, interface methods) are invisible to
+// the call graph and pass silently; the standard library is trusted
+// except for the hard-coded roots above.
+//
+// # Carve-outs
+//
+// Timing-only uses — the TimeBudget deadline in the exact solver, the
+// wall-time fields of a benchmark harness — are acknowledged in place:
+//
+//	//reseedvet:ignore detsource -- wall-clock budget: truncation is recorded in Optimal
+//
+// An acknowledged source stops propagating: it neither reports nor
+// poisons the facts of its callers. A map-range escape acknowledged for
+// maporder is likewise benign here.
+package detsource
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/reseedvet"
+)
+
+// name is the analyzer identifier (a const so run can refer to it
+// without an initialization cycle through Analyzer).
+const name = "detsource"
+
+var Analyzer = &reseedvet.Analyzer{
+	Name:      name,
+	Doc:       "forbids transitively reachable nondeterminism (clock, unseeded rand, env, map order) in determinism-scoped packages",
+	Run:       run,
+	FactTypes: []reseedvet.Fact{&NondetFact{}},
+}
+
+// A Source is one way a function touches nondeterminism.
+type Source struct {
+	Root string // the ultimate source, e.g. "time.Now" or "map iteration order escape"
+	Via  string // call chain from the function to the root, "" when the touch is direct
+}
+
+// String renders the source for a diagnostic.
+func (s Source) String() string {
+	if s.Via == "" {
+		return s.Root
+	}
+	return s.Root + " (via " + s.Via + ")"
+}
+
+// A NondetFact marks a function whose call can observe nondeterminism.
+// Sources is deduplicated by root, sorted, and capped — it is evidence
+// for a diagnostic, not an exhaustive enumeration.
+type NondetFact struct {
+	Sources []Source
+}
+
+func (*NondetFact) AFact() {}
+
+// maxSources bounds the evidence carried per function.
+const maxSources = 4
+
+func run(pass *reseedvet.Pass) error {
+	inScope := pass.PathHasSuffix(reseedvet.DeterminismScope...)
+
+	// Collect the package's function declarations in file order, keyed by
+	// their type objects for the local call graph.
+	type funcInfo struct {
+		obj     *types.Func
+		decl    *ast.FuncDecl
+		sources []Source      // accumulated, deduped by root
+		locals  []*types.Func // same-package callees, in first-call order
+		seen    map[*types.Func]bool
+	}
+	var funcs []*funcInfo
+	byObj := make(map[*types.Func]*funcInfo)
+	for _, file := range pass.SourceFiles() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj, decl: fn, seen: make(map[*types.Func]bool)}
+			funcs = append(funcs, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	addSource := func(fi *funcInfo, s Source) {
+		for _, have := range fi.sources {
+			if have.Root == s.Root {
+				return
+			}
+		}
+		if len(fi.sources) < maxSources {
+			fi.sources = append(fi.sources, s)
+		}
+	}
+
+	// Pass 1: direct sources, local call edges, and — in scope — the
+	// diagnostics for direct root touches and for calls whose imported
+	// fact says the callee reaches nondeterminism.
+	for _, fi := range funcs {
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(pass, call)
+			if callee == nil {
+				return true
+			}
+			if root := rootSource(callee); root != "" {
+				if inScope {
+					pass.Reportf(call.Pos(),
+						"calls %s, a nondeterminism source, in a determinism-scoped package (timing-only uses: //reseedvet:ignore detsource -- <reason>)", root)
+				}
+				if !pass.Acknowledged(call.Pos(), name) {
+					addSource(fi, Source{Root: root})
+				}
+				return true
+			}
+			if callee.Pkg() == pass.Pkg {
+				if !fi.seen[callee] {
+					fi.seen[callee] = true
+					fi.locals = append(fi.locals, callee)
+				}
+				return true
+			}
+			var fact NondetFact
+			if pass.ImportObjectFact(callee, &fact) && len(fact.Sources) > 0 {
+				if inScope {
+					pass.Reportf(call.Pos(),
+						"call to %s reaches a nondeterminism source: %s; determinism-scoped packages must stay bit-identical across runs (//reseedvet:ignore detsource -- <reason> for timing-only uses)",
+						displayName(callee), joinSources(fact.Sources))
+				}
+				if !pass.Acknowledged(call.Pos(), name) {
+					for _, s := range fact.Sources {
+						addSource(fi, inherit(s, displayName(callee)))
+					}
+				}
+			}
+			return true
+		})
+
+		// Map-range order escapes are sources too — per maporder's exact
+		// definition. maporder itself reports them in its (wider) scope, so
+		// here they only feed the fact; an escape acknowledged for either
+		// analyzer is benign.
+		for _, esc := range maporder.Escapes(pass, fi.decl.Body) {
+			if !pass.Acknowledged(esc.Pos, name, "maporder") {
+				addSource(fi, Source{Root: "map iteration order escape"})
+			}
+		}
+	}
+
+	// Package-level variable initializers can touch roots without any
+	// enclosing function; in scope that is a finding in its own right
+	// (it runs once per process, at an uncontrolled moment).
+	if inScope {
+		for _, file := range pass.SourceFiles() {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				ast.Inspect(gd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pass, call); callee != nil {
+						if root := rootSource(callee); root != "" {
+							pass.Reportf(call.Pos(),
+								"package-level initializer calls %s, a nondeterminism source, in a determinism-scoped package", root)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: propagate along local call edges to a fixed point (sources
+	// only grow and are deduped by root, so this terminates; cycles just
+	// converge). Declaration order outside, first-call order inside:
+	// via-chains — and with them the fact bytes cmd/go caches — are
+	// deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			for _, callee := range fi.locals {
+				ci := byObj[callee]
+				if ci == nil {
+					continue
+				}
+				for _, s := range ci.sources {
+					before := len(fi.sources)
+					addSource(fi, inherit(s, callee.Name()))
+					if len(fi.sources) != before {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Export the facts. Functions without a cross-package name (locals,
+	// methods of unnamed types) drop theirs — nothing outside the package
+	// can call them anyway.
+	for _, fi := range funcs {
+		if len(fi.sources) == 0 {
+			continue
+		}
+		sort.Slice(fi.sources, func(i, j int) bool { return fi.sources[i].Root < fi.sources[j].Root })
+		pass.ExportObjectFact(fi.obj, &NondetFact{Sources: fi.sources})
+	}
+	return nil
+}
+
+// inherit rebases a callee's source onto the caller's chain.
+func inherit(s Source, step string) Source {
+	via := step
+	if s.Via != "" {
+		via += " → " + s.Via
+	}
+	return Source{Root: s.Root, Via: via}
+}
+
+func joinSources(sources []Source) string {
+	parts := make([]string, len(sources))
+	for i, s := range sources {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// displayName renders a callee for messages and via-chains:
+// "pkg.Func" or "pkg.Type.Method".
+func displayName(fn *types.Func) string {
+	if path := reseedvet.ObjectPath(fn); path != "" && fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + path
+	}
+	return fn.Name()
+}
+
+// calleeOf resolves a call expression to the *types.Func it statically
+// invokes: a package-level function (possibly qualified), a method on a
+// concrete receiver, or nil for builtins, conversions, and dynamic calls.
+func calleeOf(pass *reseedvet.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified call pkg.F: no Selection entry, the Sel resolves
+		// directly.
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootSource classifies a callee as a hard-coded nondeterminism root,
+// returning its display name ("" otherwise). Only package-level
+// functions count: methods of rand.Rand run a caller-seeded stream.
+func rootSource(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return "time." + name
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + name
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors build caller-seeded generators and are fine; every
+		// other package-level function draws from the shared, unseeded
+		// (or runtime-seeded) source.
+		if !strings.HasPrefix(name, "New") {
+			return fmt.Sprintf("unseeded %s.%s", pkg.Path(), name)
+		}
+	case "crypto/rand":
+		return "crypto/rand." + name
+	}
+	return ""
+}

@@ -1,0 +1,52 @@
+package detsource_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/vettest"
+)
+
+// TestDetsource vets the fixture module with only this analyzer enabled
+// and matches the findings against the fixture's want comments. The
+// fixture is deliberately multi-package: the wall-clock touch that
+// `internal/setcover`'s findings name sits two import hops away, so the
+// test only passes when NondetFacts flow through the vet build graph —
+// dependency-ordered units, fact files and all.
+func TestDetsource(t *testing.T) {
+	vettest.Check(t, "testdata/mod", "detsource")
+}
+
+// TestDetsourceJSON pins the -json surface: the same run, machine-read.
+// The scoped package must carry its six live findings plus the
+// acknowledged deadline touch marked suppressed (suppressed findings are
+// dropped from text output but kept, flagged, in JSON); the out-of-scope
+// packages must report nothing at all.
+func TestDetsourceJSON(t *testing.T) {
+	units := vettest.JSON(t, "testdata/mod", "detsource")
+
+	for _, pkg := range []string{"detfix/clock", "detfix/helpers"} {
+		if n := len(units[pkg]); n != 0 {
+			t.Errorf("%s: got %d findings, want 0 (out of scope)", pkg, n)
+		}
+	}
+
+	var live, suppressed int
+	for _, f := range units["detfix/internal/setcover"] {
+		if f.Analyzer != "detsource" {
+			t.Errorf("unexpected analyzer %q in finding %+v", f.Analyzer, f)
+		}
+		if f.Suppressed {
+			suppressed++
+			if !strings.Contains(f.Message, "time.Now") {
+				t.Errorf("suppressed finding is not the deadline touch: %+v", f)
+			}
+		} else {
+			live++
+		}
+	}
+	if live != 6 || suppressed != 1 {
+		t.Errorf("scoped package: got %d live + %d suppressed findings, want 6 + 1\nunits: %+v",
+			live, suppressed, units)
+	}
+}

@@ -1,0 +1,13 @@
+// Package clock is the deepest package of the fixture: the wall-clock
+// touch lives here, two import hops from the determinism-scoped caller.
+// Nothing is reported in this package — it is out of scope — but the
+// NondetFact exported for Stamp is what carries the finding upward.
+package clock
+
+import "time"
+
+// Stamp touches the wall clock directly.
+func Stamp() time.Time { return time.Now() }
+
+// Fixed is deterministic and must export no fact.
+func Fixed() time.Time { return time.Unix(0, 0) }

@@ -1,0 +1,55 @@
+// Package helpers sits between the scoped package and the clock: it
+// never touches nondeterminism directly on some paths, inherits it
+// through another package on others. Out of scope, so no findings here —
+// only facts.
+package helpers
+
+import (
+	"math/rand"
+	"sort"
+
+	"detfix/clock"
+)
+
+// Tick reaches the wall clock only through the clock package; its fact
+// names the chain.
+func Tick() int64 { return clock.Stamp().UnixNano() }
+
+// Pure is deterministic.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Keys lets map iteration order escape into its return value — a
+// nondeterminism source per maporder's definition, carried here as a
+// fact because this package is outside maporder's scope.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned spelling: the sort launders the order.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gen exercises the method-object fact path.
+type Gen struct{ bias int64 }
+
+// Next draws from math/rand's shared, unseeded stream.
+func (g Gen) Next() int64 { return g.bias + rand.Int63() }
+
+// Seeded draws from a caller-seeded stream — the sanctioned idiom, no
+// fact.
+func Seeded(seed int64) int64 { return rand.New(rand.NewSource(seed)).Int63() }

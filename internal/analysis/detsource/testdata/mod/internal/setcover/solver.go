@@ -1,0 +1,47 @@
+// The determinism-scoped package of the fixture (scoping is by import
+// path suffix, so this "internal/setcover" stands in for the real one).
+// Every reachable nondeterminism source below must be reported here, at
+// the call site — including the ones whose roots live one and two
+// packages away.
+package setcover
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"detfix/helpers"
+)
+
+var initStamp = time.Now().UnixNano() // want "package-level initializer calls time.Now, a nondeterminism source"
+
+// Solve exercises every reporting path.
+func Solve() int64 {
+	direct := time.Now().UnixNano() // want "calls time.Now, a nondeterminism source, in a determinism-scoped package"
+	viaHelpers := helpers.Tick()    // want "call to helpers.Tick reaches a nondeterminism source: time.Now (via clock.Stamp)"
+
+	keys := helpers.Keys(map[string]int{"a": 1}) // want "call to helpers.Keys reaches a nondeterminism source: map iteration order escape"
+
+	var g helpers.Gen
+	drawn := g.Next() // want "call to helpers.Gen.Next reaches a nondeterminism source: unseeded math/rand.Int63"
+
+	env := len(os.Getenv("RESEED_DEBUG")) // want "calls os.Getenv, a nondeterminism source"
+
+	// The deterministic counterparts: no findings.
+	okPure := helpers.Pure(1, 2)
+	okSorted := helpers.SortedKeys(map[string]int{"b": 2})
+	okSeeded := helpers.Seeded(42)
+	okLocal := rand.New(rand.NewSource(7)).Int63()
+	okFixed := deadline(time.Second)
+
+	return direct + viaHelpers + int64(len(keys)) + drawn + int64(env) +
+		int64(okPure) + int64(len(okSorted)) + okSeeded + okLocal + okFixed + initStamp
+}
+
+// deadline is the sanctioned timing-only carve-out: the acknowledged
+// touch neither reports nor poisons this function's callers (Solve calls
+// it and inherits nothing).
+func deadline(d time.Duration) int64 {
+	//reseedvet:ignore detsource -- fixture: wall-clock budget is timing-only, truncation is the caller's contract
+	return time.Now().Add(d).UnixNano()
+}

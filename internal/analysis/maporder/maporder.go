@@ -16,6 +16,7 @@
 package maporder
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -23,27 +24,17 @@ import (
 	"repro/internal/analysis/reseedvet"
 )
 
-// scope is the set of determinism-scoped packages (matched by import-path
-// suffix): everything between a netlist and a wire Response whose output
-// must be bit-identical across runs and worker counts.
-var scope = []string{
-	"internal/setcover",
-	"internal/fsim",
-	"internal/dmatrix",
-	"internal/core",
-	"internal/engine",
-	"internal/store",
-	"internal/server",
-}
-
 var Analyzer = &reseedvet.Analyzer{
 	Name: "maporder",
 	Doc:  "flags map iteration order leaking into results in determinism-scoped packages",
 	Run:  run,
 }
 
+// The analyzer patrols reseedvet.WireScope — the solver core plus the
+// serving tier, everything between a netlist and a wire Response whose
+// output must be bit-identical across runs and worker counts.
 func run(pass *reseedvet.Pass) error {
-	if !pass.PathHasSuffix(scope...) {
+	if !pass.PathHasSuffix(reseedvet.WireScope...) {
 		return nil
 	}
 	for _, file := range pass.SourceFiles() {
@@ -52,16 +43,29 @@ func run(pass *reseedvet.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn.Body)
+			for _, esc := range Escapes(pass, fn.Body) {
+				pass.Reportf(esc.Pos, "%s", esc.Message)
+			}
 		}
 	}
 	return nil
 }
 
-// checkFunc inspects one function body (function literals are part of
-// their enclosing declaration's body and are visited with it; a sort in
-// the surrounding function still sanctions an append inside a literal).
-func checkFunc(pass *reseedvet.Pass, body *ast.BlockStmt) {
+// An Escape is one point where map iteration order leaks out of a range
+// loop into an observable result.
+type Escape struct {
+	Pos     token.Pos // the range statement
+	Message string
+}
+
+// Escapes inspects one function body and returns every map-range order
+// escape in it (function literals are part of their enclosing
+// declaration's body and are visited with it; a sort in the surrounding
+// function still sanctions an append inside a literal). Exported because
+// detsource treats an order escape as a nondeterminism source when it
+// computes reachability facts — per exactly this definition.
+func Escapes(pass *reseedvet.Pass, body *ast.BlockStmt) []Escape {
+	var out []Escape
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -74,12 +78,13 @@ func checkFunc(pass *reseedvet.Pass, body *ast.BlockStmt) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		checkMapRange(pass, body, rng)
+		out = append(out, mapRangeEscapes(pass, body, rng)...)
 		return true
 	})
+	return out
 }
 
-func checkMapRange(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+func mapRangeEscapes(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) []Escape {
 	// Returns inside a function literal leave that literal, not the loop.
 	var litRanges [][2]token.Pos
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
@@ -98,19 +103,20 @@ func checkMapRange(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.Range
 	}
 
 	// Collect the loop body's order-sensitive sinks.
+	var out []Escape
 	var appendTargets []*ast.Ident // outer-declared vars extended by append
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
 			if !inLit(n.Pos()) {
-				pass.Reportf(rng.Range,
-					"map iteration order decides this loop's return; iterate a sorted view instead")
+				out = append(out, Escape{rng.Range,
+					"map iteration order decides this loop's return; iterate a sorted view instead"})
 			}
 			return true
 		case *ast.CallExpr:
 			if name, ok := outputCall(pass, n); ok {
-				pass.Reportf(rng.Range,
-					"map iteration order reaches the output written by %s; iterate a sorted view instead", name)
+				out = append(out, Escape{rng.Range,
+					fmt.Sprintf("map iteration order reaches the output written by %s; iterate a sorted view instead", name)})
 			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
@@ -129,9 +135,10 @@ func checkMapRange(pass *reseedvet.Pass, funcBody *ast.BlockStmt, rng *ast.Range
 		if sortedAfter(pass, funcBody, rng, id) {
 			continue
 		}
-		pass.Reportf(rng.Range,
-			"map iteration order leaks into %q via append with no subsequent sort", id.Name)
+		out = append(out, Escape{rng.Range,
+			fmt.Sprintf("map iteration order leaks into %q via append with no subsequent sort", id.Name)})
 	}
+	return out
 }
 
 // outputCall reports whether call writes output: fmt.Fprint*,

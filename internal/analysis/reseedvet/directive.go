@@ -1,0 +1,218 @@
+package reseedvet
+
+// Suppression directives. A diagnostic is acknowledged in place with
+//
+//	//reseedvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the flagged line or the line immediately above it. The grammar is
+// deliberately strict — analyzers are lowercase identifiers, the reason
+// is mandatory — and a comment that starts like a directive but fails to
+// parse is itself a finding rather than silently inert, so a typo cannot
+// quietly disable a suppression (or fail to).
+//
+// Directives are tracked: one that matches no diagnostic and no
+// fact-level acknowledgment (Pass.Acknowledged) in a run where its
+// analyzers are active is reported as stale, so carve-outs cannot
+// outlive the code they excused.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//reseedvet:ignore"
+
+// parseIgnoreDirective parses one comment's text. Returns:
+//
+//   - analyzers, reason, ok=true for a well-formed directive;
+//   - ok=false, problem!="" for a comment that is recognizably a
+//     reseedvet:ignore directive but malformed (the problem string says
+//     how);
+//   - ok=false, problem=="" for comments that are not directives at all.
+func parseIgnoreDirective(text string) (analyzers []string, reason string, ok bool, problem string) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return nil, "", false, ""
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// "//reseedvet:ignoreX" — some other word; not ours.
+		return nil, "", false, ""
+	}
+	if strings.ContainsAny(rest, "\n\r") {
+		return nil, "", false, "directive must be a single line"
+	}
+	list, after, hasReason := strings.Cut(rest, "--")
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return nil, "", false, `missing analyzer list: "//reseedvet:ignore <analyzer> -- <reason>"`
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, "", false, "empty analyzer name in list"
+		}
+		for _, r := range name {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+				return nil, "", false, fmt.Sprintf("invalid analyzer name %q (want lowercase [a-z0-9_]+)", name)
+			}
+		}
+		analyzers = append(analyzers, name)
+	}
+	reason = strings.TrimSpace(after)
+	if !hasReason || reason == "" {
+		return nil, "", false, `ignore directive needs a justification: "//reseedvet:ignore <analyzer> -- <reason>"`
+	}
+	return analyzers, reason, true, ""
+}
+
+// formatIgnoreDirective renders the canonical spelling of a directive;
+// parseIgnoreDirective is its exact inverse for well-formed inputs (the
+// fuzzer holds it to that).
+func formatIgnoreDirective(analyzers []string, reason string) string {
+	return directivePrefix + " " + strings.Join(analyzers, ",") + " -- " + reason
+}
+
+// A directiveEntry is one parsed suppression comment and its usage state.
+type directiveEntry struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// A directiveSet indexes every directive of one unit by the lines it
+// covers. A directive covers its own line and the next, so it can trail
+// the flagged statement or precede it.
+type directiveSet struct {
+	fset      *token.FileSet
+	entries   []*directiveEntry
+	byKey     map[dirKey][]*directiveEntry
+	malformed []Diagnostic
+}
+
+type dirKey struct {
+	file string
+	line int
+	name string
+}
+
+// parseDirectives scans all comments of files (test files included — a
+// directive is wherever the author put it) and builds the set.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	s := &directiveSet{fset: fset, byKey: make(map[dirKey][]*directiveEntry)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				analyzers, reason, ok, problem := parseIgnoreDirective(c.Text)
+				if !ok {
+					if problem != "" {
+						s.malformed = append(s.malformed, Diagnostic{
+							Analyzer: FrameworkName,
+							Pos:      c.Pos(),
+							Message:  problem,
+						})
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				e := &directiveEntry{
+					pos:       c.Pos(),
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: analyzers,
+					reason:    reason,
+				}
+				s.entries = append(s.entries, e)
+				for _, name := range analyzers {
+					s.byKey[dirKey{pos.Filename, pos.Line, name}] = append(s.byKey[dirKey{pos.Filename, pos.Line, name}], e)
+					s.byKey[dirKey{pos.Filename, pos.Line + 1, name}] = append(s.byKey[dirKey{pos.Filename, pos.Line + 1, name}], e)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covered reports whether a directive naming analyzer covers pos, and
+// marks every such directive used.
+func (s *directiveSet) covered(pos token.Pos, analyzer string) bool {
+	if s == nil {
+		return false
+	}
+	p := s.fset.Position(pos)
+	entries := s.byKey[dirKey{p.Filename, p.Line, analyzer}]
+	for _, e := range entries {
+		e.used = true
+	}
+	return len(entries) > 0
+}
+
+// stale reports directives that earned their keep in no way this run:
+// every entry naming at least one active analyzer that suppressed no
+// diagnostic and acknowledged no fact source. Directives naming only
+// inactive analyzers are left alone — a single-analyzer run must not
+// condemn the others' carve-outs — but a name no analyzer has ever had
+// is reported regardless, because it can never become live.
+func (s *directiveSet) stale(active, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		var unknown []string
+		anyActive := false
+		for _, name := range e.analyzers {
+			if !known[name] && name != FrameworkName {
+				unknown = append(unknown, name)
+			} else if active[name] {
+				anyActive = true
+			}
+		}
+		if len(unknown) > 0 {
+			out = append(out, Diagnostic{
+				Analyzer: FrameworkName,
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("ignore directive names unknown analyzer %s", strings.Join(unknown, ", ")),
+			})
+			continue
+		}
+		if anyActive && !e.used {
+			out = append(out, Diagnostic{
+				Analyzer: FrameworkName,
+				Pos:      e.pos,
+				Message: fmt.Sprintf("stale ignore directive: suppresses no %s finding on this or the next line; delete it or re-justify it",
+					strings.Join(e.analyzers, "/")),
+			})
+		}
+	}
+	return out
+}
+
+// applyDirectives marks suppressed diagnostics (rather than dropping
+// them, so -json can show the full picture), appends the set's malformed
+// and stale findings, and returns everything position-sorted. active and
+// known are analyzer-name sets: active drove this run; known is every
+// analyzer the tool ships, for the typo check.
+func applyDirectives(dirs *directiveSet, diags []Diagnostic, active, known map[string]bool) []Diagnostic {
+	for i := range diags {
+		if dirs.covered(diags[i].Pos, diags[i].Analyzer) {
+			diags[i].Suppressed = true
+		}
+	}
+	diags = append(diags, dirs.malformed...)
+	diags = append(diags, dirs.stale(active, known)...)
+	sort.SliceStable(diags, func(a, b int) bool {
+		pa, pb := dirs.fset.Position(diags[a].Pos), dirs.fset.Position(diags[b].Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		return diags[a].Analyzer < diags[b].Analyzer
+	})
+	return diags
+}

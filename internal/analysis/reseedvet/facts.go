@@ -1,0 +1,286 @@
+package reseedvet
+
+// The facts system: the piece that makes analyzers interprocedural.
+//
+// An analyzer that declares FactTypes may attach serializable facts to
+// objects (functions, fields, package-level vars) of the package it is
+// analyzing. The unitchecker persists every unit's facts in the .vetx
+// file cmd/go already demands (VetxOutput), and hands each unit the
+// .vetx files of its direct imports (PackageVetx). Because a unit's
+// output re-exports everything it imported, facts reach transitive
+// dependents through direct-import hops alone — the same scheme
+// golang.org/x/tools/go/analysis/unitchecker uses, rebuilt here on the
+// standard library.
+//
+// Facts are addressed by (package path, object path, concrete fact
+// type). Object paths are intra-package names that survive export data:
+//
+//	F           package-level func, var, const or type named F
+//	T.M         method M with receiver (or pointer receiver) T
+//	T.F         field F of the package-level named struct type T
+//
+// Anything without such a name — locals, fields of anonymous structs,
+// results of instantiation — is not addressable and silently drops its
+// facts; analyzers needing those keep them package-internal.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// A Fact is an analyzer-defined datum attached to an object or package.
+// Concrete fact types must be pointers to gob-encodable structs and are
+// declared in the owning Analyzer's FactTypes so the driver can register
+// them. The marker method keeps arbitrary types from being smuggled in.
+type Fact interface{ AFact() }
+
+// factsVersion leads every fact file; bumping it invalidates fact files
+// written by an incompatible encoder. (The -V=full binary digest already
+// invalidates cmd/go's cache across tool rebuilds; the header is the
+// defense for files that outlive a cache, e.g. copies under test.)
+const factsVersion = "reseedvet-facts-v1\n"
+
+// factKey addresses one fact: Object "" means a package-level fact.
+type factKey struct {
+	pkg  string // package import path
+	obj  string // object path within pkg, or ""
+	kind string // concrete fact type name, e.g. "*detsource.NondetFact"
+}
+
+// factRecord is the serialized form of one fact.
+type factRecord struct {
+	PkgPath string
+	Object  string
+	Fact    Fact
+}
+
+// A factSet holds every fact visible to one unit: those decoded from the
+// dependencies' fact files plus those the unit's own analyzers export.
+type factSet struct {
+	m map[factKey]Fact
+}
+
+func newFactSet() *factSet { return &factSet{m: make(map[factKey]Fact)} }
+
+func kindOf(f Fact) string { return reflect.TypeOf(f).String() }
+
+func (s *factSet) add(pkg, obj string, f Fact) {
+	s.m[factKey{pkg, obj, kindOf(f)}] = f
+}
+
+// get copies the stored fact for (pkg, obj, type of ptr) into ptr and
+// reports whether one existed. ptr must be a pointer to a concrete fact
+// type, as in gob: the stored value is assigned through reflection.
+func (s *factSet) get(pkg, obj string, ptr Fact) bool {
+	stored, ok := s.m[factKey{pkg, obj, kindOf(ptr)}]
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(ptr)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		panic(fmt.Sprintf("reseedvet: fact target %T is not a non-nil pointer", ptr))
+	}
+	rv.Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// encode serializes the whole set deterministically: records are sorted
+// by key so a byte-for-byte stable .vetx lands in cmd/go's content-
+// addressed cache.
+func (s *factSet) encode() ([]byte, error) {
+	keys := make([]factKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.obj != b.obj {
+			return a.obj < b.obj
+		}
+		return a.kind < b.kind
+	})
+	var buf bytes.Buffer
+	buf.WriteString(factsVersion)
+	enc := gob.NewEncoder(&buf)
+	for _, k := range keys {
+		if err := enc.Encode(factRecord{PkgPath: k.pkg, Object: k.obj, Fact: s.m[k]}); err != nil {
+			return nil, fmt.Errorf("encoding fact %s.%s (%s): %w", k.pkg, k.obj, k.kind, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeInto merges the fact file contents in data into the set. An
+// empty file is a valid empty set (standard-library units and fact-free
+// dependencies write those). Anything else must carry the version header
+// and a well-formed gob stream; a mismatch or decode failure is an error
+// naming the source so the driver can fail with a diagnosis instead of a
+// panic deep inside gob.
+func (s *factSet) decodeInto(data []byte, source string) error {
+	if len(data) == 0 {
+		return nil
+	}
+	rest, ok := bytes.CutPrefix(data, []byte(factsVersion))
+	if !ok {
+		return fmt.Errorf("fact file %s: missing %q header (corrupted, or written by an incompatible reseedvet)", source, factsVersion[:len(factsVersion)-1])
+	}
+	dec := gob.NewDecoder(bytes.NewReader(rest))
+	for {
+		var rec factRecord
+		err := dec.Decode(&rec)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("fact file %s: corrupted fact stream: %v", source, err)
+		}
+		if rec.Fact == nil {
+			return fmt.Errorf("fact file %s: record for %s.%s carries no fact", source, rec.PkgPath, rec.Object)
+		}
+		s.add(rec.PkgPath, rec.Object, rec.Fact)
+	}
+}
+
+// registerFactTypes makes the analyzers' fact types known to gob and
+// rejects malformed declarations up front.
+func registerFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t == nil || t.Kind() != reflect.Pointer {
+				panic(fmt.Sprintf("analyzer %s: fact type %T must be a pointer", a.Name, f))
+			}
+			gob.Register(f)
+		}
+	}
+}
+
+// ObjectPath returns the stable intra-package path for obj ("" when obj
+// is not addressable from another package; see the package comment for
+// the grammar).
+func ObjectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if recv := sig.Recv(); recv != nil {
+			named := namedReceiver(recv.Type())
+			if named == nil {
+				return ""
+			}
+			return named.Obj().Name() + "." + o.Name()
+		}
+		if o.Parent() != o.Pkg().Scope() {
+			return "" // a local function value, not addressable
+		}
+		return o.Name()
+	case *types.Var:
+		if o.IsField() {
+			return fieldPath(o)
+		}
+		if o.Parent() == o.Pkg().Scope() {
+			return o.Name()
+		}
+		return ""
+	case *types.TypeName, *types.Const:
+		if o.Parent() == o.Pkg().Scope() {
+			return o.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// namedReceiver unwraps a method receiver type to its named type.
+func namedReceiver(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// fieldPath locates the package-level named struct type declaring field
+// and returns "Type.Field". go/types gives fields no parent pointer, so
+// this scans the declaring package's scope; nested anonymous structs are
+// not addressable and return "".
+func fieldPath(field *types.Var) string {
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return name + "." + field.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis. Facts on objects that are not addressable across
+// packages are dropped silently: they would be unreachable anyway.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	if obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("reseedvet: analyzer %s exported a fact for %v, which is outside package %s",
+			p.Analyzer.Name, obj, p.Pkg.Path()))
+	}
+	if path := ObjectPath(obj); path != "" {
+		p.facts.add(p.Pkg.Path(), path, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr
+// and reports whether one exists. obj may belong to any package whose
+// facts this unit can see — a dependency, or the package under analysis
+// itself (facts exported earlier in the same run).
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := ObjectPath(obj)
+	if path == "" {
+		return false
+	}
+	return p.facts.get(obj.Pkg().Path(), path, ptr)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts != nil {
+		p.facts.add(p.Pkg.Path(), "", fact)
+	}
+}
+
+// ImportPackageFact copies pkg's fact of ptr's type into ptr and reports
+// whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.get(pkg.Path(), "", ptr)
+}

@@ -1,0 +1,183 @@
+package reseedvet
+
+import (
+	"encoding/gob"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testFact is a minimal serializable fact for the round-trip tests.
+type testFact struct{ Marks []string }
+
+func (*testFact) AFact() {}
+
+func init() { gob.Register(&testFact{}) }
+
+// newSig builds a no-arg no-result signature, optionally with a receiver.
+func newSig(recv *types.Var) *types.Signature {
+	return types.NewSignatureType(recv, nil, nil, nil, nil, false)
+}
+
+// depPackage fabricates a dependency package with a function F, a method
+// T.M, and a struct field T.N — one object of each addressable shape.
+func depPackage() (pkg *types.Package, fn, meth, field types.Object) {
+	pkg = types.NewPackage("example.com/dep", "dep")
+	f := types.NewFunc(token.NoPos, pkg, "F", newSig(nil))
+	pkg.Scope().Insert(f)
+
+	fieldVar := types.NewField(token.NoPos, pkg, "N", types.Typ[types.Int64], false)
+	st := types.NewStruct([]*types.Var{fieldVar}, nil)
+	tn := types.NewTypeName(token.NoPos, pkg, "T", nil)
+	named := types.NewNamed(tn, st, nil)
+	pkg.Scope().Insert(tn)
+	m := types.NewFunc(token.NoPos, pkg, "M", newSig(types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))))
+	named.AddMethod(m)
+	return pkg, f, m, fieldVar
+}
+
+func TestObjectPath(t *testing.T) {
+	_, fn, meth, field := depPackage()
+	for _, tc := range []struct {
+		obj  types.Object
+		want string
+	}{
+		{fn, "F"},
+		{meth, "T.M"},
+		{field, "T.N"},
+	} {
+		if got := ObjectPath(tc.obj); got != tc.want {
+			t.Errorf("ObjectPath(%v) = %q, want %q", tc.obj, got, tc.want)
+		}
+	}
+	// A local is not addressable.
+	local := types.NewVar(token.NoPos, fn.Pkg(), "x", types.Typ[types.Int])
+	if got := ObjectPath(local); got != "" {
+		t.Errorf("ObjectPath(local) = %q, want \"\"", got)
+	}
+}
+
+// TestFactsRoundTrip drives the full fact path: export through a Pass,
+// encode, decode into a fresh set (a dependent unit), and import against
+// the same type objects.
+func TestFactsRoundTrip(t *testing.T) {
+	pkg, fn, meth, field := depPackage()
+
+	set := newFactSet()
+	pass := &Pass{Pkg: pkg, facts: set}
+	pass.ExportObjectFact(fn, &testFact{Marks: []string{"time.Now"}})
+	pass.ExportObjectFact(meth, &testFact{Marks: []string{"math/rand.Intn"}})
+	pass.ExportObjectFact(field, &testFact{Marks: []string{"atomic"}})
+	pass.ExportPackageFact(&testFact{Marks: []string{"package-wide"}})
+
+	data, err := set.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding: same set, same bytes.
+	again, err := set.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("fact encoding is not deterministic")
+	}
+
+	dep := newFactSet()
+	if err := dep.decodeInto(data, "test.vetx"); err != nil {
+		t.Fatal(err)
+	}
+	importer := &Pass{Pkg: types.NewPackage("example.com/main", "main"), facts: dep}
+	var got testFact
+	if !importer.ImportObjectFact(fn, &got) || got.Marks[0] != "time.Now" {
+		t.Errorf("ImportObjectFact(F) = %v, want time.Now", got.Marks)
+	}
+	if !importer.ImportObjectFact(meth, &got) || got.Marks[0] != "math/rand.Intn" {
+		t.Errorf("ImportObjectFact(T.M) = %v, want math/rand.Intn", got.Marks)
+	}
+	if !importer.ImportObjectFact(field, &got) || got.Marks[0] != "atomic" {
+		t.Errorf("ImportObjectFact(T.N) = %v, want atomic", got.Marks)
+	}
+	if !importer.ImportPackageFact(pkg, &got) || got.Marks[0] != "package-wide" {
+		t.Errorf("ImportPackageFact = %v, want package-wide", got.Marks)
+	}
+	if importer.ImportObjectFact(types.NewFunc(token.NoPos, pkg, "Absent", newSig(nil)), &got) {
+		t.Error("ImportObjectFact reported a fact for an object that has none")
+	}
+}
+
+// TestFactsDecodeDegradesClearly pins the corruption contract: an empty
+// dependency is fine; garbage fails with an error naming the source, not
+// a panic.
+func TestFactsDecodeDegradesClearly(t *testing.T) {
+	if err := newFactSet().decodeInto(nil, "empty.vetx"); err != nil {
+		t.Fatalf("empty fact file: %v, want nil", err)
+	}
+	if err := newFactSet().decodeInto([]byte{}, "empty.vetx"); err != nil {
+		t.Fatalf("zero-length fact file: %v, want nil", err)
+	}
+
+	for name, data := range map[string][]byte{
+		"no-header":        []byte("reseedvet: no facts\n"), // pre-facts-era file contents
+		"truncated-stream": append([]byte(factsVersion), 0x42, 0x17),
+		"garbage":          {0xde, 0xad, 0xbe, 0xef},
+	} {
+		err := newFactSet().decodeInto(data, name+".vetx")
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), name+".vetx") {
+			t.Errorf("%s: error %q does not name the source file", name, err)
+		}
+	}
+}
+
+// TestFlagsJSON pins the -flags handshake cmd/go validates analyzer
+// flags against: every analyzer appears as a boolean toggle, plus -json.
+func TestFlagsJSON(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "maporder", Doc: "a"},
+		{Name: "detsource", Doc: "b"},
+	}
+	data, err := flagsJSON(analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Name":"json"`, `"Name":"maporder"`, `"Name":"detsource"`, `"Bool":true`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("-flags output %s lacks %s", data, want)
+		}
+	}
+}
+
+// TestParseVetConfig pins the vet.cfg fields the driver consumes and the
+// tolerance for fields it does not.
+func TestParseVetConfig(t *testing.T) {
+	cfg, err := parseVetConfig([]byte(`{
+		"ID": "repro/internal/setcover",
+		"ImportPath": "repro/internal/setcover",
+		"Compiler": "gc",
+		"GoFiles": ["a.go", "b.go"],
+		"ModulePath": "repro",
+		"PackageVetx": {"repro/internal/bitvec": "/cache/xx.vetx"},
+		"VetxOutput": "/cache/out.vetx",
+		"VetxOnly": false,
+		"SomeFutureField": {"nested": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ImportPath != "repro/internal/setcover" || len(cfg.GoFiles) != 2 ||
+		cfg.PackageVetx["repro/internal/bitvec"] != "/cache/xx.vetx" || cfg.VetxOutput != "/cache/out.vetx" {
+		t.Errorf("parsed config %+v lost fields", cfg)
+	}
+
+	if _, err := parseVetConfig([]byte(`{"GoFiles": }`)); err == nil {
+		t.Error("malformed JSON parsed without error")
+	}
+	if _, err := parseVetConfig([]byte(`{"Compiler": "gc"}`)); err == nil {
+		t.Error("config without ImportPath parsed without error")
+	}
+}

@@ -1,0 +1,86 @@
+package reseedvet
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseIgnoreDirective holds the suppression-directive parser to its
+// contract on arbitrary comment text: never panic, never accept a
+// malformed directive, and round-trip every accepted one through the
+// canonical spelling. CI's fuzz-smoke job runs this next to
+// FuzzCrossCheck; the seed corpus is the malformed shapes the grammar
+// must reject with a diagnosis rather than ignore.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//reseedvet:ignore maporder -- consumer treats this as a set",
+		"//reseedvet:ignore maporder,ctxloop -- multi",
+		"//reseedvet:ignore",
+		"//reseedvet:ignore ",
+		"//reseedvet:ignore -- reason without analyzers",
+		"//reseedvet:ignore maporder",
+		"//reseedvet:ignore maporder --",
+		"//reseedvet:ignore maporder --   ",
+		"//reseedvet:ignore maporder,, -- double comma",
+		"//reseedvet:ignore ,maporder -- leading comma",
+		"//reseedvet:ignore Maporder -- uppercase",
+		"//reseedvet:ignore map order -- space in name",
+		"//reseedvet:ignore map\torder -- tab in name",
+		"//reseedvet:ignored maporder -- not our word",
+		"//reseedvet:ignore maporder -- reason -- with separator again",
+		"//reseedvet:ignore maporder \t--\t tabs around separator",
+		"// reseedvet:ignore maporder -- leading space: plain comment",
+		"//reseedvet:ignore\tmaporder -- tab after verb",
+		"//reseedvet:ignore maporder -- line\nbreak",
+		"//reseedvet:ignore мапордер -- non-ascii",
+		"/*reseedvet:ignore maporder -- block comment*/",
+		"//reseedvet:ignore _ -- underscore only",
+		"//reseedvet:ignore 0 -- digit only",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzers, reason, ok, problem := parseIgnoreDirective(text)
+		if !ok {
+			if analyzers != nil || reason != "" {
+				t.Fatalf("rejected input %q returned data: %v %q", text, analyzers, reason)
+			}
+			if problem != "" && !strings.HasPrefix(text, directivePrefix) {
+				t.Fatalf("non-directive %q reported malformed: %s", text, problem)
+			}
+			return
+		}
+		if problem != "" {
+			t.Fatalf("accepted input %q still reported problem %q", text, problem)
+		}
+		if len(analyzers) == 0 {
+			t.Fatalf("accepted input %q with no analyzers", text)
+		}
+		for _, name := range analyzers {
+			if name == "" {
+				t.Fatalf("accepted input %q with empty analyzer name", text)
+			}
+			for _, r := range name {
+				if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+					t.Fatalf("accepted input %q with analyzer name %q outside [a-z0-9_]", text, name)
+				}
+			}
+		}
+		if reason == "" || reason != strings.TrimSpace(reason) {
+			t.Fatalf("accepted input %q with untrimmed or empty reason %q", text, reason)
+		}
+		if !utf8.ValidString(text) {
+			// The canonical respelling below only makes sense for valid
+			// UTF-8; acceptance itself is already verified.
+			return
+		}
+		// Round trip: the canonical spelling must parse back to the same
+		// directive.
+		canon := formatIgnoreDirective(analyzers, reason)
+		a2, r2, ok2, _ := parseIgnoreDirective(canon)
+		if !ok2 || r2 != reason || strings.Join(a2, ",") != strings.Join(analyzers, ",") {
+			t.Fatalf("canonical form %q of %q did not round-trip: %v %q %v", canon, text, a2, r2, ok2)
+		}
+	})
+}

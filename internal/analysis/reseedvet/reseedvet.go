@@ -40,6 +40,10 @@ import (
 	"strings"
 )
 
+// FrameworkName is the pseudo-analyzer name under which the framework
+// itself reports (malformed and stale suppression directives).
+const FrameworkName = "reseedvet"
+
 // An Analyzer is one named check. Run inspects the package in pass and
 // reports findings through pass.Reportf; returning an error aborts the
 // whole vet invocation (reserved for internal failures, not findings).
@@ -47,6 +51,12 @@ type Analyzer struct {
 	Name string // short lowercase identifier, used in directives and output
 	Doc  string // one-paragraph description
 	Run  func(pass *Pass) error
+
+	// FactTypes declares the pointer types of the facts this analyzer
+	// exports or imports (see facts.go). A non-empty list also makes the
+	// analyzer run on fact-only dependency units, so its facts exist
+	// before any dependent package is analyzed.
+	FactTypes []Fact
 }
 
 // A Pass describes one analyzed package: its syntax, its type
@@ -62,18 +72,37 @@ type Pass struct {
 	ModuleDir string // module root directory (go.mod location), "" when unknown
 
 	report func(Diagnostic)
+	facts  *factSet
+	dirs   *directiveSet
 }
 
 // A Diagnostic is one finding at one position.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Pos
-	Message  string
+	Analyzer   string
+	Pos        token.Pos
+	Message    string
+	Suppressed bool // acknowledged by an ignore directive (kept for -json)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Acknowledged reports whether an ignore directive naming any of the
+// given analyzers covers pos, and marks it used. It is how an analyzer
+// consults carve-outs during computation rather than reporting: a
+// source acknowledged here stops contributing to exported facts, and the
+// directive is counted as live for the stale-suppression check even when
+// it suppressed no positional diagnostic in this unit.
+func (p *Pass) Acknowledged(pos token.Pos, analyzers ...string) bool {
+	ok := false
+	for _, name := range analyzers {
+		if p.dirs.covered(pos, name) {
+			ok = true
+		}
+	}
+	return ok
 }
 
 // SourceFiles returns the package's non-test files: the analyzers enforce

@@ -9,7 +9,8 @@ import (
 
 // TestApplyDirectives pins the suppression grammar without a vet run:
 // which lines a directive covers, multi-analyzer lists, the
-// same-analyzer-only rule, and the mandatory reason.
+// same-analyzer-only rule, the mandatory reason, and the stale and
+// unknown-name findings.
 func TestApplyDirectives(t *testing.T) {
 	const src = `package p
 
@@ -23,6 +24,15 @@ var b int
 var c int
 
 var d int //reseedvet:ignore lockcheck -- trailing form
+
+//reseedvet:ignore maporder -- stale: nothing on this or the next line
+var e int
+
+//reseedvet:ignore mapodrer -- typo in the analyzer name
+var f int
+
+//reseedvet:ignore wiretag -- names only an inactive analyzer; not condemned
+var g int
 `
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
@@ -39,25 +49,83 @@ var d int //reseedvet:ignore lockcheck -- trailing form
 		{Analyzer: "errpolicy", Pos: at(10), Message: "reasonless directive suppresses nothing"},
 		{Analyzer: "lockcheck", Pos: at(12), Message: "suppressed by trailing directive"},
 	}
-	out := applyDirectives(fset, []*ast.File{f}, in)
+	active := map[string]bool{"maporder": true, "ctxloop": true, "errpolicy": true, "lockcheck": true}
+	known := map[string]bool{"maporder": true, "ctxloop": true, "errpolicy": true, "lockcheck": true, "wiretag": true}
+
+	dirs := parseDirectives(fset, []*ast.File{f})
+	out := applyDirectives(dirs, in, active, known)
 
 	got := make(map[string][]int)
 	for _, d := range out {
+		if d.Suppressed {
+			continue
+		}
 		got[d.Analyzer] = append(got[d.Analyzer], fset.Position(d.Pos).Line)
 	}
 	want := map[string][]int{
-		"wiretag":   {4},  // a directive only covers the analyzers it names
-		"reseedvet": {9},  // the reasonless directive is itself a finding
-		"errpolicy": {10}, // ... and suppresses nothing
+		"wiretag":   {4},         // a directive only covers the analyzers it names
+		"reseedvet": {9, 14, 17}, // reasonless, stale, and typo directives are findings
+		"errpolicy": {10},        // ... and the reasonless one suppresses nothing
 	}
 	for name, lines := range want {
-		if len(got[name]) != len(lines) || (len(lines) > 0 && got[name][0] != lines[0]) {
+		if len(got[name]) != len(lines) {
 			t.Errorf("%s diagnostics at %v, want %v", name, got[name], lines)
+			continue
+		}
+		for i := range lines {
+			if got[name][i] != lines[i] {
+				t.Errorf("%s diagnostics at %v, want %v", name, got[name], lines)
+				break
+			}
 		}
 	}
 	for name := range got {
 		if _, ok := want[name]; !ok {
 			t.Errorf("unexpected surviving %s diagnostics at %v", name, got[name])
 		}
+	}
+
+	// The suppressed diagnostics are retained and marked, for -json.
+	suppressed := 0
+	for _, d := range out {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 4 {
+		t.Errorf("suppressed diagnostics = %d, want 4", suppressed)
+	}
+}
+
+// TestAcknowledgedKeepsDirectiveLive pins the fact-level carve-out
+// contract: a directive consumed through Pass.Acknowledged (no
+// positional diagnostic involved) is not reported stale.
+func TestAcknowledgedKeepsDirectiveLive(t *testing.T) {
+	const src = `package p
+
+//reseedvet:ignore detsource -- timing-only: consumed by a fact carve-out
+var a int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := parseDirectives(fset, []*ast.File{f})
+	pass := &Pass{dirs: dirs}
+
+	pos := fset.File(f.Package).LineStart(4)
+	if !pass.Acknowledged(pos, "detsource") {
+		t.Fatal("Acknowledged = false for a covered line")
+	}
+	if pass.Acknowledged(pos, "maporder") {
+		t.Fatal("Acknowledged = true for an analyzer the directive does not name")
+	}
+
+	active := map[string]bool{"detsource": true}
+	known := map[string]bool{"detsource": true}
+	out := applyDirectives(dirs, nil, active, known)
+	if len(out) != 0 {
+		t.Fatalf("acknowledged directive reported stale: %v", out)
 	}
 }

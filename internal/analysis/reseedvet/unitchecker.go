@@ -9,11 +9,21 @@ package reseedvet
 //     (cmd/go uses it to validate user-supplied analyzer flags);
 //   - `tool [flags] $WORK/.../vet.cfg` performs the analysis of one
 //     package. The cfg file is JSON describing the package: its files,
-//     its import map, and the export-data files of its dependencies,
-//     which cmd/go has already compiled. The tool must write the file
-//     named by VetxOutput (the "facts" output; this tool records none),
-//     print findings to stderr as "file:line:col: message", and exit
-//     non-zero iff it found something.
+//     its import map, the export-data files of its dependencies (which
+//     cmd/go has already compiled), and — since the facts system — the
+//     fact files (PackageVetx) those dependencies' vet runs produced.
+//     The tool must write the file named by VetxOutput (this unit's
+//     facts), print findings to stderr as "file:line:col: message", and
+//     exit non-zero iff it found something.
+//
+// Dependencies not named on the vet command line arrive with
+// VetxOnly=true: cmd/go wants only their facts. Fact-producing analyzers
+// (FactTypes != nil) run on those units too, so facts flow bottom-up
+// through the import graph; each unit's output re-exports everything it
+// imported, which makes facts transitive even though PackageVetx lists
+// direct imports only. Standard-library units are exempt — the analyzers
+// trust std apart from the explicit nondeterminism roots they hard-code —
+// and contribute an empty fact file without being typechecked.
 //
 // This is the same protocol golang.org/x/tools/go/analysis/unitchecker
 // implements; reimplementing it here keeps the repository free of
@@ -35,7 +45,6 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"regexp"
 	"sort"
 	"strings"
 )
@@ -62,12 +71,43 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// parseVetConfig decodes one vet.cfg and validates the invariants the
+// rest of the driver leans on.
+func parseVetConfig(data []byte) (*vetConfig, error) {
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config: %v", err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("vet config names no ImportPath")
+	}
+	return &cfg, nil
+}
+
+// jsonFlag is one entry of the -flags handshake.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// flagsJSON renders the -flags response: one boolean toggle per analyzer
+// plus the driver's own -json switch.
+func flagsJSON(analyzers []*Analyzer) ([]byte, error) {
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit machine-readable JSON diagnostics on stdout (suppressed findings included)"}}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	return json.Marshal(flags)
+}
+
 // Main is the entry point of cmd/reseedvet: a multichecker over the given
 // analyzers speaking the cmd/go vet protocol.
 func Main(analyzers ...*Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
 	log.SetPrefix(progname + ": ")
+	registerFactTypes(analyzers)
 
 	// Hand-rolled flag handling: cmd/go probes -V=full and -flags as the
 	// sole argument, and otherwise passes (possibly) analyzer flags
@@ -77,7 +117,8 @@ func Main(analyzers ...*Analyzer) {
 		// The version line cmd/go hashes into its build cache key. It must
 		// lead with os.Args[0] exactly as invoked (cmd/go compares the first
 		// field against the -vettool path), and it embeds a digest of the
-		// binary so rebuilding the tool invalidates cached vet results.
+		// binary so rebuilding the tool invalidates cached vet results —
+		// fact files included.
 		f, err := os.Open(os.Args[0])
 		if err != nil {
 			log.Fatal(err)
@@ -91,17 +132,7 @@ func Main(analyzers ...*Analyzer) {
 		return
 	}
 	if len(args) == 1 && args[0] == "-flags" {
-		// No tool-specific flags beyond the analyzer toggles.
-		type jsonFlag struct {
-			Name  string
-			Bool  bool
-			Usage string
-		}
-		var flags []jsonFlag
-		for _, a := range analyzers {
-			flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
-		}
-		out, err := json.Marshal(flags)
+		out, err := flagsJSON(analyzers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,10 +140,11 @@ func Main(analyzers ...*Analyzer) {
 		return
 	}
 
-	// Analyzer enable/disable flags (-maporder=false etc.); anything else
-	// before the cfg path is rejected.
+	// Analyzer enable/disable flags (-maporder=false etc.) and -json;
+	// anything else before the cfg path is rejected.
 	enabled := make(map[string]bool, len(analyzers))
 	explicit := false
+	jsonOut := false
 	for _, a := range analyzers {
 		enabled[a.Name] = true
 	}
@@ -126,6 +158,10 @@ func Main(analyzers ...*Analyzer) {
 			continue
 		}
 		name, val, hasVal := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+		if name == "json" {
+			jsonOut = !hasVal || val == "true" || val == "1"
+			continue
+		}
 		if _, ok := enabled[name]; !ok {
 			log.Fatalf("unknown flag %q", arg)
 		}
@@ -149,30 +185,65 @@ func Main(analyzers ...*Analyzer) {
 			active = append(active, a)
 		}
 	}
-	os.Exit(run(cfgPath, active))
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	os.Exit(run(cfgPath, active, known, jsonOut))
 }
 
-func run(cfgPath string, analyzers []*Analyzer) int {
+func run(cfgPath string, analyzers []*Analyzer, known map[string]bool, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
+	cfg, err := parseVetConfig(data)
+	if err != nil {
+		log.Fatalf("vet config %s: %v", cfgPath, err)
 	}
 
-	// cmd/go declared VetxOutput as this action's product and caches it;
-	// the file must exist even though this tool records no facts and even
-	// when the package is fact-only (a dependency of the packages named on
-	// the command line).
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("reseedvet: no facts\n"), 0o666); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if cfg.VetxOnly {
+	// Standard-library fact-only units are not analyzed at all: std is
+	// trusted except for the hard-coded nondeterminism roots, so its fact
+	// file is legitimately empty and typechecking it would only burn time.
+	if cfg.VetxOnly && cfg.ModulePath == "" {
+		writeFacts(cfg.VetxOutput, nil)
 		return 0
+	}
+
+	// In fact-only mode just the fact-producing analyzers run; diagnostics
+	// are discarded (they will be recomputed — and reported — when the
+	// package itself is vetted).
+	if cfg.VetxOnly {
+		var producers []*Analyzer
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				producers = append(producers, a)
+			}
+		}
+		if len(producers) == 0 {
+			writeFacts(cfg.VetxOutput, nil)
+			return 0
+		}
+		analyzers = producers
+	}
+
+	// Load the dependencies' facts. A missing entry or an empty file is a
+	// fact-free dependency; a corrupted file is a hard, explained error.
+	facts := newFactSet()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		depPaths = append(depPaths, dep)
+	}
+	sort.Strings(depPaths)
+	for _, dep := range depPaths {
+		file := cfg.PackageVetx[dep]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("loading facts of dependency %s: %v", dep, err)
+		}
+		if err := facts.decodeInto(data, fmt.Sprintf("%s (dependency %s)", file, dep)); err != nil {
+			log.Fatalf("loading facts of dependency %s: %v (re-run with a rebuilt reseedvet, or clear the go build cache)", dep, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -188,7 +259,7 @@ func run(cfgPath string, analyzers []*Analyzer) int {
 		files = append(files, f)
 	}
 
-	pkg, info, err := typecheck(fset, files, &cfg)
+	pkg, info, err := typecheck(fset, files, cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
@@ -196,9 +267,12 @@ func run(cfgPath string, analyzers []*Analyzer) int {
 		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
+	dirs := parseDirectives(fset, files)
 	var diags []Diagnostic
 	moduleDir := findModuleDir(cfg.Dir)
+	activeNames := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		activeNames[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -209,30 +283,100 @@ func run(cfgPath string, analyzers []*Analyzer) int {
 			Module:    cfg.ModulePath,
 			ModuleDir: moduleDir,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     facts,
+			dirs:      dirs,
 		}
 		if err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s: %v", a.Name, err)
 		}
 	}
 
-	diags = applyDirectives(fset, files, diags)
-	if len(diags) == 0 {
+	// Persist this unit's facts — everything imported plus everything the
+	// analyzers exported — before any diagnostic handling, so dependents
+	// can proceed even when this unit has findings.
+	writeFacts(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
 		return 0
 	}
-	sort.Slice(diags, func(a, b int) bool {
-		pa, pb := fset.Position(diags[a].Pos), fset.Position(diags[b].Pos)
-		if pa.Filename != pb.Filename {
-			return pa.Filename < pb.Filename
-		}
-		if pa.Line != pb.Line {
-			return pa.Line < pb.Line
-		}
-		return diags[a].Analyzer < diags[b].Analyzer
-	})
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+
+	diags = applyDirectives(dirs, diags, activeNames, known)
+	if jsonOut {
+		return emitJSON(os.Stdout, fset, cfg.ImportPath, diags)
 	}
-	return 1
+	exit := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		exit = 1
+	}
+	return exit
+}
+
+// writeFacts writes the unit's fact file. cmd/go declared VetxOutput as
+// this action's product and caches it, so the file must exist even when
+// there are no facts to record.
+func writeFacts(path string, facts *factSet) {
+	if path == "" {
+		return
+	}
+	var data []byte
+	if facts != nil && len(facts.m) > 0 {
+		var err error
+		data, err = facts.encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonUnit is the -json document one unit prints: the package and every
+// diagnostic, suppressed ones included and marked.
+type jsonUnit struct {
+	Package  string           `json:"package"`
+	Findings []jsonDiagnostic `json:"findings"`
+}
+
+// emitJSON prints the unit's diagnostics as one JSON document on w and
+// returns the exit code (non-zero iff an unsuppressed finding remains,
+// same contract as the text path).
+func emitJSON(w io.Writer, fset *token.FileSet, pkgPath string, diags []Diagnostic) int {
+	unit := jsonUnit{Package: pkgPath, Findings: []jsonDiagnostic{}}
+	exit := 0
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		unit.Findings = append(unit.Findings, jsonDiagnostic{
+			File:       p.Filename,
+			Line:       p.Line,
+			Col:        p.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+		if !d.Suppressed {
+			exit = 1
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(unit); err != nil {
+		log.Fatal(err)
+	}
+	return exit
 }
 
 // typecheck builds the package's type information from the export data
@@ -293,54 +437,4 @@ func findModuleDir(dir string) string {
 		}
 		d = parent
 	}
-}
-
-// ignoreRE matches the suppression directive. The reason after "--" is
-// mandatory: an acknowledged finding must say why it is acceptable.
-var ignoreRE = regexp.MustCompile(`^//reseedvet:ignore\s+([a-z0-9_,]+)\s*(?:--\s*(.*))?$`)
-
-// applyDirectives filters out diagnostics acknowledged by an
-// `//reseedvet:ignore <analyzers> -- <reason>` comment on the same line
-// or the line immediately above, and reports malformed directives.
-func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
-		name string
-	}
-	ignored := make(map[key]bool)
-	var out []Diagnostic
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if strings.TrimSpace(m[2]) == "" {
-					out = append(out, Diagnostic{
-						Analyzer: "reseedvet",
-						Pos:      c.Pos(),
-						Message:  `ignore directive needs a justification: "//reseedvet:ignore <analyzer> -- <reason>"`,
-					})
-					continue
-				}
-				for _, name := range strings.Split(m[1], ",") {
-					// The directive covers its own line and the next one,
-					// so it can trail the flagged statement or precede it.
-					ignored[key{pos.Filename, pos.Line, name}] = true
-					ignored[key{pos.Filename, pos.Line + 1, name}] = true
-				}
-			}
-		}
-	}
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if ignored[key{pos.Filename, pos.Line, d.Analyzer}] {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
 }

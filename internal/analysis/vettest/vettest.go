@@ -15,6 +15,7 @@
 package vettest
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -80,6 +81,57 @@ func moduleRoot() (string, error) {
 		}
 		d = parent
 	}
+}
+
+// A JSONFinding is one entry of reseedvet's -json output.
+type JSONFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+type jsonUnit struct {
+	Package  string        `json:"package"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// JSON vets the fixture module at dir with -json and only the named
+// analyzer, returning every finding — suppressed ones included, the way
+// machine consumers see them — keyed by package path.
+func JSON(t *testing.T, dir, analyzer string) map[string][]JSONFinding {
+	t.Helper()
+	tool := Tool(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "-json", "-"+analyzer, "./...")
+	cmd.Dir = abs
+	out, _ := cmd.CombinedOutput() // non-zero exit just means findings
+
+	// cmd/go interleaves its own "# pkg" headers with the tool's JSON
+	// units; strip them and decode the remaining object stream.
+	var clean []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		clean = append(clean, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(clean, "\n")))
+	units := make(map[string][]JSONFinding)
+	for dec.More() {
+		var u jsonUnit
+		if err := dec.Decode(&u); err != nil {
+			t.Fatalf("decoding -json output: %v\nfull output:\n%s", err, out)
+		}
+		units[u.Package] = u.Findings
+	}
+	return units
 }
 
 // findingRE matches one reseedvet output line:

@@ -105,6 +105,7 @@ func solveOne(inst *Instance, mode setcover.BoundMode, maxNodes int64, paralleli
 		MaxNodes:    maxNodes,
 		Parallelism: parallelism,
 	}
+	//reseedvet:ignore detsource -- wall-clock measurement only: WallMS is reporting output, excluded from the solver cross-check and the CI trajectory diff
 	start := time.Now()
 	var (
 		sol setcover.Solution
@@ -115,6 +116,7 @@ func solveOne(inst *Instance, mode setcover.BoundMode, maxNodes int64, paralleli
 	} else {
 		sol, err = inst.Problem.SolveExact(opts)
 	}
+	//reseedvet:ignore detsource -- wall-clock measurement only: WallMS is reporting output, excluded from the solver cross-check and the CI trajectory diff
 	return sol, time.Since(start), err
 }
 
@@ -146,7 +148,8 @@ func RunBounds(opts BenchOptions) (*Bench, error) {
 		return nil, err
 	}
 	bench := &Bench{
-		Schema:         BenchSchema,
+		Schema: BenchSchema,
+		//reseedvet:ignore detsource -- generated_at is a provenance timestamp, excluded from the CI trajectory diff
 		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
 		Parallelism:    opts.Parallelism,
 		OpenNodeBudget: opts.OpenNodeBudget,

@@ -234,6 +234,7 @@ func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts Exac
 	e.dual = opts.Bound != BoundCounting
 	e.ascentRoot, e.ascentPerNode = opts.ascentBudgets()
 	if opts.TimeBudget > 0 {
+		//reseedvet:ignore detsource -- TimeBudget deadline is timing-only: expiry truncates the search and is recorded in Solution.Optimal; the rows selected stay deterministic
 		e.deadline = time.Now().Add(opts.TimeBudget)
 		e.timed = true
 	}
@@ -261,6 +262,7 @@ func (e *engine) rowCost(r int) int {
 
 // expired reports whether the wall-clock budget or the context has run out.
 func (e *engine) expired() bool {
+	//reseedvet:ignore detsource -- wall-clock budget check is timing-only: it can only stop the search early, and truncation is recorded in Solution.Optimal
 	if e.timed && !time.Now().Before(e.deadline) {
 		return true
 	}
