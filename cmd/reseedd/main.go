@@ -21,7 +21,15 @@
 //
 // With -store, ATPG preparations and Detection Matrices are persisted as
 // content-addressed JSON under the given directory, and a restarted daemon
-// serves its first request from disk instead of re-running ATPG.
+// serves its first request from disk instead of re-running ATPG. The same
+// records are served to sibling replicas over GET/PUT /v1/store/...; with
+// -remote-store URL the daemon reads through to (and writes through to) a
+// sibling's store, tiered under the local directory when both are set.
+//
+// With -peers URL,URL,... a POST /v1/dist/solve fans the exact solver's
+// top-level subtrees out across the named replicas (see docs/API.md); set
+// -advertise to this daemon's own base URL so lease holders can exchange
+// incumbents with it.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, running
 // jobs turn anytime (their exact solves finish with the best cover found
@@ -39,11 +47,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	reseeding "repro"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -65,6 +75,12 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 64, "requests accepted per /v1/batch call")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second,
 			"how long a SIGINT/SIGTERM drain may take before the process exits anyway")
+		remoteStore = flag.String("remote-store", "",
+			"base URL of a replica serving /v1/store (with -store: tiered local-then-remote)")
+		peers = flag.String("peers", "",
+			"comma-separated base URLs of sibling replicas accepting distributed subtree leases")
+		advertise = flag.String("advertise", "",
+			"this replica's own base URL as peers reach it (enables incumbent exchange)")
 	)
 	flag.Parse()
 	log.SetPrefix("reseedd: ")
@@ -84,12 +100,13 @@ func main() {
 		// pool, so -j 1 genuinely serializes the daemon.
 		BatchParallelism: *jobs,
 	}
+	var localStore *reseeding.Store
 	if *storeDir != "" {
 		st, err := reseeding.OpenStore(*storeDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		engOpts.Store = st
+		localStore = st
 		cfg.Store = st
 		flows, matrices, err := st.Len()
 		if err != nil {
@@ -97,6 +114,29 @@ func main() {
 		}
 		log.Printf("artifact store %s: %d flows, %d matrices", *storeDir, flows, matrices)
 	}
+	switch {
+	case localStore != nil && *remoteStore != "":
+		t := store.NewTiered(localStore, store.NewRemote(*remoteStore, nil))
+		engOpts.Store = t
+		cfg.Backends = t.Backends()
+		log.Printf("tiered artifact store: local %s over remote %s", *storeDir, *remoteStore)
+	case localStore != nil:
+		engOpts.Store = localStore
+	case *remoteStore != "":
+		rem := store.NewRemote(*remoteStore, nil)
+		engOpts.Store = rem
+		cfg.Backends = rem.Backends()
+		log.Printf("remote artifact store %s", *remoteStore)
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		log.Printf("distributed solve peers: %v", cfg.Peers)
+	}
+	cfg.Advertise = strings.TrimRight(*advertise, "/")
 
 	srv := server.New(reseeding.NewEngine(engOpts), cfg)
 	ln, err := net.Listen("tcp", *addr)

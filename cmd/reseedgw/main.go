@@ -1,0 +1,69 @@
+// Command reseedgw fronts several reseedd replicas as one service. It
+// routes solve-shaped requests by their circuit cache key over a
+// consistent-hash ring — each replica stays warm for its shard of the
+// circuit universe — probes replica health in the background, and
+// retries a failed request against the key's next-preferred replica, so
+// one crashed replica never surfaces a transport error for retryable
+// work.
+//
+// Usage:
+//
+//	reseedgw -addr :8350 -replicas http://127.0.0.1:8351,http://127.0.0.1:8352
+//
+// Endpoints:
+//
+//	GET    /healthz        gateway liveness + live-replica count
+//	POST   /v1/solve       routed by circuit key, retried on failover
+//	POST   /v1/batch       routed by the first request's key
+//	POST   /v1/jobs        routed like /v1/solve
+//	GET    /v1/jobs        merged job lists of every replica
+//	GET    /v1/jobs/{id}   fanned out; first replica that knows the job
+//	DELETE /v1/jobs/{id}   likewise
+//	GET    /v1/route       placement debug: ?circuit=NAME -> preference list
+//	GET    /metrics        gateway counters + per-replica liveness
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8350", "listen address (host:port; port 0 picks a free port)")
+		replicas = flag.String("replicas", "", "comma-separated base URLs of the reseedd replicas (required)")
+		interval = flag.Duration("probe-interval", 2*time.Second, "replica health probe cadence")
+	)
+	flag.Parse()
+	log.SetPrefix("reseedgw: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	var members []string
+	for _, rep := range strings.Split(*replicas, ",") {
+		if rep = strings.TrimRight(strings.TrimSpace(rep), "/"); rep != "" {
+			members = append(members, rep)
+		}
+	}
+	if len(members) == 0 {
+		log.Fatal("no replicas: pass -replicas http://host:port,...")
+	}
+
+	ring := cluster.NewRing(members)
+	health := cluster.NewHealth(ring.Replicas(), nil, *interval)
+	health.Start()
+	defer health.Close()
+	gw := cluster.NewGateway(ring, health, &http.Client{})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fronting %d replicas on http://%s", ring.Len(), ln.Addr())
+	log.Fatal(http.Serve(ln, gw.Handler()))
+}

@@ -1,0 +1,96 @@
+// Command reseedload drives a reseedd replica or reseedgw gateway with a
+// deterministic solve workload and writes latency percentiles as
+// BENCH_cluster.json — the cluster's service-level trajectory file,
+// regenerated and diffed by CI the way BENCH_bounds.json is.
+//
+// Usage:
+//
+//	reseedload -target http://127.0.0.1:8350 -out BENCH_cluster.json
+//
+// The workload is two waves over the same deterministic key set
+// (circuits × seeds): a cold wave that pays the ATPG builds and a warm
+// wave that measures the cache path. The process exits non-zero when any
+// request fails, so a smoke harness needs no JSON parsing to detect a
+// broken cluster.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster/loadgen"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of the gateway or replica under load (required)")
+		out         = flag.String("out", "BENCH_cluster.json", "output file (- for stdout)")
+		circuits    = flag.String("circuits", "", "comma-separated built-in circuits (default: the committed trio)")
+		seeds       = flag.Int("seeds", 0, "seeds per circuit (default 2)")
+		repeats     = flag.Int("repeats", 0, "warm-wave replays of the key set (default 3)")
+		concurrency = flag.Int("c", 0, "client workers (default 4)")
+		cycles      = flag.Int("cycles", 0, "evolution length per request (default 32)")
+		sloP99      = flag.Float64("slo-warm-p99-ms", 0, "warm-phase p99 threshold for the pass flag (default 5000)")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "overall run budget")
+	)
+	flag.Parse()
+	log.SetPrefix("reseedload: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	if *target == "" {
+		log.Fatal("pass -target http://host:port")
+	}
+
+	opts := loadgen.Options{
+		Target:          strings.TrimRight(*target, "/"),
+		SeedsPerCircuit: *seeds,
+		WarmRepeats:     *repeats,
+		Concurrency:     *concurrency,
+		Cycles:          *cycles,
+		SLOWarmP99Ms:    *sloP99,
+	}
+	if *circuits != "" {
+		for _, c := range strings.Split(*circuits, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				opts.Circuits = append(opts.Circuits, c)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	failed := 0
+	for _, ph := range rep.Phases {
+		log.Printf("%s: %d requests, %d errors, p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms",
+			ph.Name, ph.Requests, ph.Errors, ph.P50Ms, ph.P90Ms, ph.P99Ms, ph.MaxMs)
+		failed += ph.Errors
+	}
+	if failed > 0 {
+		log.Fatalf("%d requests failed", failed)
+	}
+	if !rep.SLOPass {
+		log.Printf("warning: warm p99 above SLO %.0fms", rep.SLOWarmP99Ms)
+	}
+}

@@ -18,6 +18,12 @@ var DeterminismScope = []string{
 	"internal/dmatrix",
 	"internal/core",
 	"internal/engine",
+	// The distributed fabric: ring placement, subtree leases and the
+	// incumbent protocol must agree across processes, which is the same
+	// contract as within one. (internal/cluster/loadgen is deliberately
+	// outside — latency measurement is wall-clock by definition, and
+	// suffix matching does not descend.)
+	"internal/cluster",
 }
 
 // WireScope extends DeterminismScope with the serving tier: packages

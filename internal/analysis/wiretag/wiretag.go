@@ -51,6 +51,7 @@ var scope = []string{
 	"internal/setcover",
 	"internal/setcover/corpus",
 	"internal/atpg",
+	"internal/cluster",
 }
 
 // manifestRelPath is where the manifest lives relative to the module

@@ -1,0 +1,170 @@
+package cluster
+
+// Replica health tracking for the gateway: a background prober marks
+// replicas up or down, and request handling consults the marks to skip
+// known-dead targets. A transport failure during routing marks the
+// replica down immediately (MarkDown); only a successful probe revives
+// it, so one crashed replica costs each key at most one failed attempt.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// defaultProbeInterval paces the background prober; defaultProbeTimeout
+// bounds one probe round trip.
+const (
+	defaultProbeInterval = 2 * time.Second
+	defaultProbeTimeout  = 2 * time.Second
+)
+
+// Health tracks liveness of a set of replicas. Create it with NewHealth;
+// it is safe for concurrent use.
+type Health struct {
+	client   *http.Client
+	replicas []string
+	interval time.Duration
+
+	mu sync.Mutex
+	up map[string]bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHealth returns a tracker over replicas (base URLs). Every replica
+// starts up (optimism costs one failed request at worst; pessimism would
+// refuse all traffic until the first probe round). A nil client gets a
+// private one with the probe timeout. Call Start to begin probing.
+func NewHealth(replicas []string, client *http.Client, interval time.Duration) *Health {
+	if client == nil {
+		client = &http.Client{Timeout: defaultProbeTimeout}
+	}
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	h := &Health{
+		client:   client,
+		replicas: append([]string(nil), replicas...),
+		interval: interval,
+		up:       make(map[string]bool, len(replicas)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, r := range replicas {
+		h.up[r] = true
+	}
+	return h
+}
+
+// Start launches the background prober. Close stops it.
+func (h *Health) Start() {
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(h.interval)
+		defer tick.Stop()
+		h.ProbeAll(context.Background())
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				h.ProbeAll(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it to exit. A Health that was
+// never Started closes immediately.
+func (h *Health) Close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	select {
+	case <-h.done:
+	default:
+		select {
+		case <-h.done:
+		case <-time.After(h.interval + defaultProbeTimeout):
+		}
+	}
+}
+
+// ProbeAll probes every replica once, concurrently, and updates the
+// marks. It is exported so tests (and a gateway that just saw a failure)
+// can force a round without waiting for the ticker.
+func (h *Health) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range h.replicas {
+		wg.Add(1)
+		go func(replica string) {
+			defer wg.Done()
+			ok := h.probe(ctx, replica)
+			h.mu.Lock()
+			h.up[replica] = ok
+			h.mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+}
+
+// probe is one liveness check: GET /healthz, 200 means alive. A draining
+// replica still answers 200 ("draining") and keeps serving until its
+// listener closes, so it stays routable through its drain.
+func (h *Health) probe(ctx context.Context, replica string) bool {
+	ctx, cancel := context.WithTimeout(ctx, defaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Up reports the replica's current mark.
+func (h *Health) Up(replica string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[replica]
+}
+
+// MarkDown records an observed failure (a transport error during
+// routing). The next successful probe revives the replica.
+func (h *Health) MarkDown(replica string) {
+	h.mu.Lock()
+	if _, known := h.up[replica]; known {
+		h.up[replica] = false
+	}
+	h.mu.Unlock()
+}
+
+// UpCount reports how many replicas are currently marked up.
+func (h *Health) UpCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, ok := range h.up {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the marks keyed by replica (a copy).
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.up))
+	for r, ok := range h.up {
+		out[r] = ok
+	}
+	return out
+}

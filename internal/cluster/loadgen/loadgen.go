@@ -1,0 +1,251 @@
+// Package loadgen drives a reseedd replica or reseedgw gateway with a
+// deterministic solve workload and reports latency percentiles — the
+// measurement half of BENCH_cluster.json. It lives outside the cluster
+// package proper because measuring wall-clock latency is inherently
+// non-deterministic: the workload (circuits, seeds, request order) is
+// reproducible, the recorded milliseconds are environment.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Schema identifies the BENCH_cluster.json format.
+const Schema = "reseedcluster-bench/v1"
+
+// Options configures one load run. Zero values get the defaults that
+// produce the committed BENCH_cluster.json.
+type Options struct {
+	// Target is the base URL requests go to (a gateway or a single
+	// replica). Required.
+	Target string
+	// Circuits are the built-in circuits cycled through (default: a small
+	// trio sized for CI).
+	Circuits []string
+	// SeedsPerCircuit varies the Detection Matrix seed per circuit, so
+	// the key space is Circuits × Seeds (default 2).
+	SeedsPerCircuit int
+	// WarmRepeats is how many times the warm phase replays the full key
+	// set (default 3).
+	WarmRepeats int
+	// Concurrency is the client worker count (default 4).
+	Concurrency int
+	// Cycles is the per-request evolution length (default 32, sized for
+	// CI).
+	Cycles int
+	// SLOWarmP99Ms is the warm-phase p99 threshold the report's pass flag
+	// checks (default 5000 — generous on purpose: the committed file
+	// tracks the trajectory, CI only asserts the run completed clean).
+	SLOWarmP99Ms float64
+	// Client overrides the HTTP client (nil: 60s timeout).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Circuits) == 0 {
+		o.Circuits = []string{"c432", "s420", "s820"}
+	}
+	if o.SeedsPerCircuit <= 0 {
+		o.SeedsPerCircuit = 2
+	}
+	if o.WarmRepeats <= 0 {
+		o.WarmRepeats = 3
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 32
+	}
+	if o.SLOWarmP99Ms <= 0 {
+		o.SLOWarmP99Ms = 5000
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return o
+}
+
+// Phase is one measured request wave. The count fields are deterministic
+// given the workload; the *_ms fields are environment and are stripped
+// before CI comparison.
+type Phase struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// Report is the BENCH_cluster.json document.
+type Report struct {
+	Schema          string   `json:"schema"`
+	GeneratedAt     string   `json:"generated_at"`
+	Circuits        []string `json:"circuits"`
+	SeedsPerCircuit int      `json:"seeds_per_circuit"`
+	WarmRepeats     int      `json:"warm_repeats"`
+	Concurrency     int      `json:"concurrency"`
+	Cycles          int      `json:"cycles"`
+	SLOWarmP99Ms    float64  `json:"slo_warm_p99_ms"`
+	SLOPass         bool     `json:"slo_pass"`
+	Phases          []Phase  `json:"phases"`
+}
+
+// requests builds the deterministic key set: Circuits × Seeds, in order.
+func (o Options) requests() []engine.Request {
+	var out []engine.Request
+	for _, c := range o.Circuits {
+		for s := 1; s <= o.SeedsPerCircuit; s++ {
+			out = append(out, engine.Request{
+				Circuit:     c,
+				TPG:         "adder",
+				Cycles:      o.Cycles,
+				Seed:        int64(s),
+				Parallelism: 1,
+			})
+		}
+	}
+	return out
+}
+
+// Run drives the workload: one cold wave (every key once — the ATPG
+// builds) and WarmRepeats warm waves (the same keys again — cache and
+// store hits). The error is non-nil only for an unusable target; request
+// failures are counted per phase instead.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	keys := opts.requests()
+	rep := &Report{
+		Schema:          Schema,
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		Circuits:        opts.Circuits,
+		SeedsPerCircuit: opts.SeedsPerCircuit,
+		WarmRepeats:     opts.WarmRepeats,
+		Concurrency:     opts.Concurrency,
+		Cycles:          opts.Cycles,
+		SLOWarmP99Ms:    opts.SLOWarmP99Ms,
+	}
+
+	cold, err := wave(ctx, opts, "cold", keys)
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, cold)
+
+	var warmKeys []engine.Request
+	for i := 0; i < opts.WarmRepeats; i++ {
+		warmKeys = append(warmKeys, keys...)
+	}
+	warm, err := wave(ctx, opts, "warm", warmKeys)
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, warm)
+
+	rep.SLOPass = warm.Errors == 0 && cold.Errors == 0 && warm.P99Ms <= opts.SLOWarmP99Ms
+	return rep, nil
+}
+
+// wave issues the requests over a worker pool and aggregates latencies.
+func wave(ctx context.Context, opts Options, name string, reqs []engine.Request) (Phase, error) {
+	type sample struct {
+		ms  float64
+		err bool
+	}
+	samples := make([]sample, len(reqs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				err := solveOnce(ctx, opts, reqs[i])
+				samples[i] = sample{ms: float64(time.Since(start)) / float64(time.Millisecond), err: err != nil}
+			}
+		}()
+	}
+	for i := range reqs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			close(next)
+			wg.Wait()
+			return Phase{}, ctx.Err()
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	ph := Phase{Name: name, Requests: len(reqs)}
+	var lat []float64
+	for _, s := range samples {
+		if s.err {
+			ph.Errors++
+			continue
+		}
+		lat = append(lat, s.ms)
+	}
+	sort.Float64s(lat)
+	ph.P50Ms = percentile(lat, 0.50)
+	ph.P90Ms = percentile(lat, 0.90)
+	ph.P99Ms = percentile(lat, 0.99)
+	if len(lat) > 0 {
+		ph.MaxMs = lat[len(lat)-1]
+	}
+	return ph, nil
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// solveOnce posts one request and drains the response; any non-200 is a
+// counted failure.
+func solveOnce(ctx context.Context, opts Options, req engine.Request) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.Target+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s: %s", req.Circuit, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("bench:c%04d", i)
+	}
+	return out
+}
+
+// Key distribution stays near uniform: with 128 vnodes per replica, no
+// replica of a small cluster owns more than ~2x its fair share of a
+// large key population (in practice the skew is far smaller; the bound
+// here is deliberately loose so the test pins the property, not the
+// hash).
+func TestRingDistributionUniformity(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		replicas := make([]string, n)
+		for i := range replicas {
+			replicas[i] = fmt.Sprintf("http://replica-%d:8080", i)
+		}
+		r := NewRing(replicas)
+		counts := make(map[string]int)
+		ks := keys(10000)
+		for _, k := range ks {
+			counts[r.Lookup(k)]++
+		}
+		fair := len(ks) / n
+		for _, rep := range replicas {
+			c := counts[rep]
+			if c == 0 {
+				t.Fatalf("n=%d: replica %s owns no keys", n, rep)
+			}
+			if c > 2*fair {
+				t.Errorf("n=%d: replica %s owns %d keys, more than 2x fair share %d", n, rep, c, fair)
+			}
+		}
+	}
+}
+
+// Membership changes move only ~1/N of the keys: adding a replica to an
+// N-ring remaps at most ~2/(N+1) of the key space (consistent hashing's
+// defining property — modulo hashing would remap nearly everything), and
+// every remapped key moves TO the new replica. Removing a replica is the
+// mirror image.
+func TestRingBoundedRemapping(t *testing.T) {
+	base := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	grown := append(append([]string(nil), base...), "http://e:1")
+	before := NewRing(base)
+	after := NewRing(grown)
+	ks := keys(10000)
+
+	moved := 0
+	for _, k := range ks {
+		was, is := before.Lookup(k), after.Lookup(k)
+		if was != is {
+			moved++
+			if is != "http://e:1" {
+				t.Fatalf("key %s moved %s -> %s, not to the joining replica", k, was, is)
+			}
+		}
+	}
+	// Fair share for the joiner is 1/5 = 2000 keys; allow 2x slack.
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining replica")
+	}
+	if max := 2 * len(ks) / len(grown); moved > max {
+		t.Errorf("join remapped %d of %d keys; want at most ~%d", moved, len(ks), max)
+	}
+
+	// Leave: keys owned by the departing replica redistribute; everyone
+	// else's keys stay put.
+	shrunk := NewRing(base[:3]) // d departs
+	for _, k := range ks {
+		was, is := before.Lookup(k), shrunk.Lookup(k)
+		if was != "http://d:1" && was != is {
+			t.Fatalf("key %s moved %s -> %s although its owner stayed", k, was, is)
+		}
+	}
+}
+
+// Placement is order- and duplicate-insensitive: two gateways configured
+// with the same replica set in different orders agree on every key.
+func TestRingConfigurationAgreement(t *testing.T) {
+	a := NewRing([]string{"http://x:1", "http://y:1", "http://z:1"})
+	b := NewRing([]string{"http://z:1", "http://y:1", "http://x:1", "http://y:1", ""})
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("dedup failed: %d vs %d members", a.Len(), b.Len())
+	}
+	for _, k := range keys(1000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+// Preference lists are distinct, stable, and led by the primary.
+func TestRingPreference(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	for _, k := range keys(200) {
+		pref := r.Preference(k, 3)
+		if len(pref) != 3 {
+			t.Fatalf("preference(%s) has %d entries", k, len(pref))
+		}
+		if pref[0] != r.Lookup(k) {
+			t.Fatalf("preference(%s) not led by primary: %v vs %s", k, pref, r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, rep := range pref {
+			if seen[rep] {
+				t.Fatalf("preference(%s) repeats %s", k, rep)
+			}
+			seen[rep] = true
+		}
+	}
+	if got := r.Preference("k", 10); len(got) != 3 {
+		t.Fatalf("preference capped at membership: got %d", len(got))
+	}
+	empty := NewRing(nil)
+	if empty.Lookup("k") != "" || empty.Preference("k", 2) != nil {
+		t.Fatal("empty ring must return no placement")
+	}
+}

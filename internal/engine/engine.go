@@ -152,12 +152,17 @@ type Stats struct {
 	// FlowStoreLoads / MatrixStoreLoads count artifacts served from the
 	// persistent ArtifactStore instead of being recomputed (the
 	// warm-restart path); they are disjoint from the Builds and Hits
-	// counters above. StoreErrors counts failed store reads and writes —
-	// each one falls back to recomputation or stays in memory, never
-	// failing the request. All three are zero on an Engine without a
-	// Store.
+	// counters above. StoreReadErrors counts failed store reads (each
+	// falls back to recomputation), StoreWriteErrors counts failed store
+	// writes (the in-memory result is kept), and StoreErrors is their sum
+	// — kept for compatibility with existing dashboards. StoreMisses
+	// counts store consultations that found the key absent (a clean miss,
+	// not an error). All are zero on an Engine without a Store.
 	FlowStoreLoads   int64 `json:"flow_store_loads"`
 	MatrixStoreLoads int64 `json:"matrix_store_loads"`
+	StoreReadErrors  int64 `json:"store_read_errors"`
+	StoreWriteErrors int64 `json:"store_write_errors"`
+	StoreMisses      int64 `json:"store_misses"`
 	StoreErrors      int64 `json:"store_errors"`
 }
 
@@ -179,7 +184,9 @@ type Engine struct {
 	solves           atomic.Int64
 	flowStoreLoads   atomic.Int64
 	matrixStoreLoads atomic.Int64
-	storeErrors      atomic.Int64
+	storeReadErrors  atomic.Int64
+	storeWriteErrors atomic.Int64
+	storeMisses      atomic.Int64
 }
 
 type matrixKey struct {
@@ -222,6 +229,7 @@ func fallbackCtx(ctx context.Context, fallbacks ...context.Context) context.Cont
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
+	read, write := e.storeReadErrors.Load(), e.storeWriteErrors.Load()
 	return Stats{
 		PrepareBuilds:    e.prepareBuilds.Load(),
 		PrepareHits:      e.prepareHits.Load(),
@@ -230,7 +238,10 @@ func (e *Engine) Stats() Stats {
 		Solves:           e.solves.Load(),
 		FlowStoreLoads:   e.flowStoreLoads.Load(),
 		MatrixStoreLoads: e.matrixStoreLoads.Load(),
-		StoreErrors:      e.storeErrors.Load(),
+		StoreReadErrors:  read,
+		StoreWriteErrors: write,
+		StoreMisses:      e.storeMisses.Load(),
+		StoreErrors:      read + write,
 	}
 }
 
@@ -271,10 +282,12 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		if e.store != nil {
 			switch f, err := e.store.LoadFlow(key); {
 			case err != nil:
-				e.storeErrors.Add(1) // unreadable record: recompute
+				e.storeReadErrors.Add(1) // unreadable record: recompute
 			case f != nil:
 				fromStore = true
 				return f, nil
+			default:
+				e.storeMisses.Add(1)
 			}
 		}
 		c, err := load()
@@ -292,7 +305,7 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		}
 		if e.store != nil {
 			if serr := e.store.SaveFlow(key, f); serr != nil {
-				e.storeErrors.Add(1)
+				e.storeWriteErrors.Add(1)
 			}
 		}
 		return f, nil
@@ -409,10 +422,12 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 		if e.store != nil {
 			switch m, err := e.store.LoadMatrix(mkey.String()); {
 			case err != nil:
-				e.storeErrors.Add(1)
+				e.storeReadErrors.Add(1)
 			case m != nil:
 				fromStore = true
 				return m, nil
+			default:
+				e.storeMisses.Add(1)
 			}
 		}
 		o := opts
@@ -423,7 +438,7 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 		}
 		if e.store != nil {
 			if serr := e.store.SaveMatrix(mkey.String(), m); serr != nil {
-				e.storeErrors.Add(1)
+				e.storeWriteErrors.Add(1)
 			}
 		}
 		return m, nil

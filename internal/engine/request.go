@@ -104,6 +104,22 @@ type Response struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 }
 
+// RouteKey returns a Request's circuit identity ("bench:<name>" or
+// "inline:<sha256>") — the shard key a routing layer consistent-hashes so
+// every request for one circuit lands on the replica already holding its
+// warm artifacts. It is "" for a request with no usable circuit identity
+// (invalid; a router should send it to any replica and let the replica's
+// validation reject it).
+func RouteKey(req Request) string {
+	switch {
+	case req.Circuit != "" && req.Bench == "":
+		return "bench:" + req.Circuit
+	case req.Bench != "" && req.Circuit == "":
+		return inlineID(req.Bench)
+	}
+	return ""
+}
+
 // circuitRef resolves a Request's circuit identity without doing any work:
 // the id is the cache-key component, load constructs the circuit on a
 // cache miss.

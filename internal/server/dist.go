@@ -1,0 +1,162 @@
+package server
+
+// The cluster-facing endpoints: the remote artifact store surface
+// (GET/PUT /v1/store/...) and the distributed solve fabric
+// (POST /v1/dist/...). Everything here is replica-to-replica traffic —
+// internal/store.Remote and internal/cluster are the clients — but the
+// handlers trust nothing: content addresses are verified on write, lease
+// bodies are strictly decoded, and admission control still applies to
+// anything that solves.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// handleStoreGet serves one raw artifact record. Absence is 404 (the
+// remote store client's miss signal), a malformed address is 400, and a
+// replica running without a store has nothing — everything is absent.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	kind, ok := store.ParseKind(r.PathValue("kind"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown artifact kind " + r.PathValue("kind")})
+		return
+	}
+	if s.cfg.Store == nil {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "no artifact store on this replica"})
+		return
+	}
+	data, err := s.cfg.Store.GetRaw(kind, r.PathValue("hash"))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if data == nil {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "no such record"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(data); err != nil {
+		s.metrics.incEncodeError()
+	}
+}
+
+// handleStorePut accepts one raw artifact record. PutRaw verifies that
+// the record's embedded key hashes to the claimed address, so a confused
+// or malicious peer cannot poison another circuit's artifacts.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	kind, ok := store.ParseKind(r.PathValue("kind"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown artifact kind " + r.PathValue("kind")})
+		return
+	}
+	if s.cfg.Store == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no artifact store on this replica"})
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading record: %v", err)})
+		return
+	}
+	if err := s.cfg.Store.PutRaw(kind, r.PathValue("hash"), data); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDistSolve coordinates one distributed exact solve: plan locally,
+// lease top-level subtrees to local workers and configured peers, merge.
+// It is admission-controlled like any synchronous solve — the whole
+// fan-out holds one slot, mirroring /v1/batch.
+func (s *Server) handleDistSolve(w http.ResponseWriter, r *http.Request) {
+	var req cluster.DistSolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, &engine.RequestError{Field: "problem", Msg: fmt.Sprintf("malformed JSON: %v", err)})
+		return
+	}
+	p, weights, err := req.Problem.Decode()
+	if err != nil {
+		s.writeError(w, &engine.RequestError{Field: "problem", Msg: err.Error()})
+		return
+	}
+	opts, err := req.Opts.Decode()
+	if err != nil {
+		s.writeError(w, &engine.RequestError{Field: "opts", Msg: err.Error()})
+		return
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	release, err := s.acquire(ctx, true)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+	sol, err := s.coord.Solve(ctx, p, weights, opts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, cluster.EncodeSolution(sol))
+}
+
+// handleDistSubtree executes one leased subtree for a peer coordinator.
+// Leases acquire a slot jobs-style — unbounded wait, never 429 — because
+// the coordinator already bounds how many leases exist (one per
+// top-level branch) and a shed lease would just be requeued against
+// someone else. A draining replica refuses instead, so its coordinator
+// moves the branch promptly.
+func (s *Server) handleDistSubtree(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	var req cluster.SubtreeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, &engine.RequestError{Field: "lease", Msg: fmt.Sprintf("malformed JSON: %v", err)})
+		return
+	}
+	ctx, cancel := s.solveCtx(r)
+	defer cancel()
+	release, err := s.acquire(ctx, false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+	resp, err := cluster.ExecuteSubtree(ctx, &req, s.distClient)
+	if err != nil {
+		s.writeError(w, &engine.RequestError{Field: "lease", Msg: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDistIncumbent folds a peer's reported cover cost into the named
+// solve's incumbent and answers with the best known after the fold. No
+// admission control: the exchange is a mutex-guarded min, cheaper than
+// the JSON around it.
+func (s *Server) handleDistIncumbent(w http.ResponseWriter, r *http.Request) {
+	var msg cluster.IncumbentMsg
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&msg); err != nil {
+		s.writeError(w, &engine.RequestError{Field: "incumbent", Msg: fmt.Sprintf("malformed JSON: %v", err)})
+		return
+	}
+	best := s.board.Exchange(msg.SolveID, msg.Cost)
+	s.writeJSON(w, http.StatusOK, cluster.IncumbentMsg{SolveID: msg.SolveID, Cost: best})
+}

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // metrics holds the HTTP request counters; everything else on /metrics is
@@ -121,9 +124,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"engine_flow_store_loads", "Preparations served from the persistent store.", st.FlowStoreLoads},
 		{"engine_matrix_store_loads", "Matrices served from the persistent store.", st.MatrixStoreLoads},
 		{"engine_store_errors", "Failed persistent-store reads and writes.", st.StoreErrors},
+		{"engine_store_read_errors", "Failed or corrupt persistent-store reads.", st.StoreReadErrors},
+		{"engine_store_write_errors", "Failed persistent-store writes.", st.StoreWriteErrors},
+		{"engine_store_misses", "Persistent-store lookups that found nothing.", st.StoreMisses},
 	} {
 		fmt.Fprintf(w, "# HELP reseedd_%s_total %s\n", c.name, c.help)
 		fmt.Fprintf(w, "# TYPE reseedd_%s_total counter\n", c.name)
 		fmt.Fprintf(w, "reseedd_%s_total %d\n", c.name, c.value)
 	}
+
+	// Backend liveness is probed at scrape time: a probe is a stat or one
+	// small HTTP round trip, bounded well under any scraper's timeout, and
+	// scrape-time truth beats a cached mark going stale between scrapes.
+	if backends := s.storeBackends(); len(backends) > 0 {
+		fmt.Fprintf(w, "# HELP reseedd_store_up Artifact-store backend health (1 = last probe succeeded).\n")
+		fmt.Fprintf(w, "# TYPE reseedd_store_up gauge\n")
+		ctx, cancel := context.WithTimeout(r.Context(), storeProbeTimeout)
+		defer cancel()
+		for _, b := range backends {
+			up := 1
+			if err := b.Probe(ctx); err != nil {
+				up = 0
+			}
+			fmt.Fprintf(w, "reseedd_store_up{backend=%q} %d\n", b.Name, up)
+		}
+	}
+}
+
+// storeProbeTimeout bounds the per-scrape backend probes.
+const storeProbeTimeout = 2 * time.Second
+
+// storeBackends resolves the backends the store_up gauge covers:
+// Config.Backends when the daemon set them (a tiered engine store has
+// two), otherwise the observational store's own.
+func (s *Server) storeBackends() []store.Backend {
+	if s.cfg.Backends != nil {
+		return s.cfg.Backends
+	}
+	if s.cfg.Store != nil {
+		return s.cfg.Store.Backends()
+	}
+	return nil
 }

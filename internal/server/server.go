@@ -17,6 +17,14 @@
 //	GET    /v1/stats       engine cache counters + server gauges
 //	GET    /metrics        the same, as Prometheus text exposition
 //
+// Cluster endpoints (the distributed fabric, internal/cluster):
+//
+//	GET    /v1/store/{kind}/{hash}  read one artifact record (remote store)
+//	PUT    /v1/store/{kind}/{hash}  write one artifact record (verified)
+//	POST   /v1/dist/solve           coordinate a distributed exact solve
+//	POST   /v1/dist/subtree         execute one leased B&B subtree
+//	POST   /v1/dist/incumbent       exchange incumbents for a running solve
+//
 // # Admission control
 //
 // At most Config.MaxInFlight solves run concurrently; synchronous requests
@@ -45,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/parallel"
 	"repro/internal/store"
@@ -75,9 +84,24 @@ type Config struct {
 	// 8 MiB — far beyond any benchmark netlist; oversized bodies are 400.
 	MaxBodyBytes int64
 	// Store, when the daemon runs one, lets /v1/stats report the persisted
-	// artifact counts. Purely observational; the Engine holds its own
-	// reference.
+	// artifact counts and backs the HTTP store endpoints
+	// (GET/PUT /v1/store/{kind}/{hash}), which turn this replica into a
+	// remote artifact backend for its siblings. The Engine holds its own
+	// reference for solving.
 	Store *store.Store
+	// Backends names the artifact-store backends /metrics probes for the
+	// reseedd_store_up gauge — set it to the engine store's Backends()
+	// when the engine runs a tiered store, so the gauge covers both
+	// layers. Nil defaults to Config.Store's backend.
+	Backends []store.Backend
+	// Peers are base URLs of sibling replicas accepting subtree leases;
+	// POST /v1/dist/solve fans the exact search's top-level subtrees out
+	// to them. Empty means distributed solves run on local workers only.
+	Peers []string
+	// Advertise is this replica's own base URL as peers reach it. Workers
+	// holding one of our leases exchange incumbents with it; empty
+	// disables the exchange (leases still run, pruning is just local).
+	Advertise string
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +145,10 @@ type Server struct {
 
 	jobs    jobTable
 	metrics metrics
+
+	board      *cluster.Board       // incumbent blackboard for distributed solves
+	coord      *cluster.Coordinator // fans /v1/dist/solve out across Peers
+	distClient *http.Client         // short-timeout client for incumbent exchange
 }
 
 // New returns a Server over eng.
@@ -135,6 +163,13 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.jobs.init(cfg.MaxJobs)
+	s.board = cluster.NewBoard()
+	s.distClient = &http.Client{Timeout: 5 * time.Second}
+	s.coord = &cluster.Coordinator{
+		Peers: cfg.Peers,
+		Self:  cfg.Advertise,
+		Board: s.board,
+	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -145,6 +180,11 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/store/{kind}/{hash}", s.handleStoreGet)
+	s.mux.HandleFunc("PUT /v1/store/{kind}/{hash}", s.handleStorePut)
+	s.mux.HandleFunc("POST /v1/dist/solve", s.handleDistSolve)
+	s.mux.HandleFunc("POST /v1/dist/subtree", s.handleDistSubtree)
+	s.mux.HandleFunc("POST /v1/dist/incumbent", s.handleDistIncumbent)
 	return s
 }
 

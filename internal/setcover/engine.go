@@ -208,6 +208,15 @@ type engine struct {
 	// It only decreases; a stale read merely delays a prune.
 	sharedCost atomic.Int64
 
+	// externalBound, when non-nil, is polled at the node cadence for the
+	// best cover cost known OUTSIDE this engine — another process's
+	// incumbent in a distributed solve. It can only lower sharedCost, and
+	// sharedCost prunes on strictly-greater only, so a correct external
+	// value (never below the global optimum) accelerates the search without
+	// changing any completed result — the same argument that makes the
+	// in-process shared incumbent deterministic.
+	externalBound func() int
+
 	mu          sync.Mutex
 	bestRows    []int           // guarded by mu
 	bestCost    int             // guarded by mu
@@ -304,6 +313,25 @@ func (e *engine) record(cost int, rows []int, branch int) {
 	for {
 		cur := e.sharedCost.Load()
 		if int64(cost) >= cur || e.sharedCost.CompareAndSwap(cur, int64(cost)) {
+			return
+		}
+	}
+}
+
+// pullBound folds the external incumbent (when configured) into
+// sharedCost. Non-positive reports mean "no incumbent known" and are
+// ignored.
+func (e *engine) pullBound() {
+	if e.externalBound == nil {
+		return
+	}
+	b := int64(e.externalBound())
+	if b <= 0 {
+		return
+	}
+	for {
+		cur := e.sharedCost.Load()
+		if b >= cur || e.sharedCost.CompareAndSwap(cur, b) {
 			return
 		}
 	}
@@ -497,9 +525,12 @@ func (t *bbTask) search(chosen []int, cost int, uncovered, banned *bitvec.Set) {
 		e.halt()
 		return
 	}
-	if n&127 == 0 && e.expired() {
-		e.halt()
-		return
+	if n&127 == 0 {
+		if e.expired() {
+			e.halt()
+			return
+		}
+		e.pullBound()
 	}
 
 	chosen, cost, infeasible, branchCol := e.propagate(chosen, cost, uncovered, banned, &t.infos)
@@ -546,47 +577,48 @@ func (t *bbTask) search(chosen []int, cost int, uncovered, banned *bitvec.Set) {
 	}
 }
 
-// solveBB is the shared entry point of SolveExact (weights == nil) and
-// SolveExactWeighted. Callers have validated weights already.
-func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
-	if bad := p.UncoverableColumns(); bad != nil {
-		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
+// finish snapshots the engine's incumbent into a Solution. Workers may
+// still be draining when an expired solve returns, so even this final
+// read of the incumbent takes the lock.
+func (e *engine) finish() Solution {
+	e.mu.Lock()
+	sol := Solution{
+		Rows: append([]int(nil), e.bestRows...),
+		Cost: e.bestCost,
 	}
-	if p.numCols == 0 {
-		return Solution{Optimal: true}, nil
-	}
-	greedy, err := p.solveGreedyImpl(weights)
-	if err != nil {
-		return Solution{}, err
-	}
-	e := newEngine(p, weights, greedy, greedy.Cost, opts)
-	if e.onIncumbent != nil {
-		e.onIncumbent(Incumbent{Cost: greedy.Cost, Rows: len(greedy.Rows)})
-	}
+	e.mu.Unlock()
+	sol.Optimal = !e.truncated.Load()
+	sol.Nodes = e.nodes.Load()
+	sol.RootLB = e.rootLB
+	sort.Ints(sol.Rows)
+	return sol
+}
 
-	finish := func() Solution {
-		// Workers may still be draining when an expired solve returns, so
-		// even this final read of the incumbent takes the lock.
-		e.mu.Lock()
-		sol := Solution{
-			Rows: append([]int(nil), e.bestRows...),
-			Cost: e.bestCost,
-		}
-		e.mu.Unlock()
-		sol.Optimal = !e.truncated.Load()
-		sol.Nodes = e.nodes.Load()
-		sol.RootLB = e.rootLB
-		sort.Ints(sol.Rows)
-		return sol
-	}
+// rootState is the deterministic root of the branch-and-bound tree:
+// everything the search decides before the top-level fan-out. It is
+// computed identically by the in-process solve and by PlanExact (the
+// distributed coordinator), which is what makes a distributed solve
+// bit-identical to a local one.
+type rootState struct {
+	chosen     []int       // rows forced at the root (in every cover)
+	cost       int         // their total cost
+	uncovered  *bitvec.Set // residual columns (read-only after root)
+	branchRows []int       // top-level branch rows, in canonical order
+	// done reports that the root resolved the solve by itself — the
+	// engine's incumbent already holds the answer; there is nothing to
+	// fan out.
+	done bool
+}
 
-	// Root node: the cheap anytime pre-check, then re-reduction and either
-	// an outright solution, a bound proof of the greedy seed, or the
-	// top-level fan-out.
+// root runs the root node: the cheap anytime pre-check, re-reduction,
+// the root lower bound with its optional multiplier ascent, and either a
+// terminal resolution (done = true) or the top-level branch list.
+func (e *engine) root(greedy Solution) rootState {
+	p := e.p
 	e.nodes.Store(1)
 	if e.expired() {
 		e.halt()
-		return finish(), nil
+		return rootState{done: true}
 	}
 	uncovered := bitvec.NewSet(p.numCols)
 	uncovered.Fill()
@@ -595,14 +627,14 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 	rootChosen, rootCost, infeasible, branchCol := e.propagate(nil, 0, uncovered, banned, &rootInfos)
 	if infeasible {
 		// Cannot happen: every column is coverable and the root bans nothing.
-		return finish(), nil
+		return rootState{done: true}
 	}
 	if branchCol < 0 {
 		// Essential rows alone cover everything; they are in every cover,
 		// so this is the optimum. The greedy seed can only tie or lose.
 		e.rootLB = rootCost
 		e.record(rootCost, rootChosen, -1)
-		return finish(), nil
+		return rootState{done: true}
 	}
 	rootBound := e.lowerBound(rootInfos, banned)
 	if e.dual {
@@ -622,28 +654,64 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 	// yet — so compare against greedy.Cost rather than reading e.bestCost
 	// outside its lock.
 	if rootCost+rootBound >= greedy.Cost {
-		return finish(), nil // the greedy seed is proven optimal
+		return rootState{done: true} // the greedy seed is proven optimal
+	}
+	return rootState{
+		chosen:     rootChosen,
+		cost:       rootCost,
+		uncovered:  uncovered,
+		branchRows: e.branchCandidates(branchCol, uncovered, banned),
+	}
+}
+
+// runBranch explores one top-level subtree serially: branch index i of
+// root state r, pruning against greedyCost as the task-local bound. It is
+// the unit of work the in-process fan-out and the distributed subtree
+// lease both execute, so both walk bit-identical trees.
+func (e *engine) runBranch(r rootState, i int, greedyCost int) {
+	t := &bbTask{e: e, branch: i, localBound: greedyCost}
+	taskBanned := bitvec.NewSet(e.p.NumRows())
+	if e.exclude {
+		for _, row := range r.branchRows[:i] {
+			taskBanned.Add(row)
+		}
+	}
+	next := r.uncovered.Clone()
+	next.AndNot(e.p.rows[r.branchRows[i]])
+	chosen := make([]int, len(r.chosen), len(r.chosen)+8)
+	copy(chosen, r.chosen)
+	t.search(append(chosen, r.branchRows[i]), r.cost+e.rowCost(r.branchRows[i]), next, taskBanned)
+}
+
+// solveBB is the shared entry point of SolveExact (weights == nil) and
+// SolveExactWeighted. Callers have validated weights already.
+func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
+	if bad := p.UncoverableColumns(); bad != nil {
+		return Solution{}, fmt.Errorf("setcover: %d columns uncoverable (first: %d)", len(bad), bad[0])
+	}
+	if p.numCols == 0 {
+		return Solution{Optimal: true}, nil
+	}
+	greedy, err := p.solveGreedyImpl(weights)
+	if err != nil {
+		return Solution{}, err
+	}
+	e := newEngine(p, weights, greedy, greedy.Cost, opts)
+	if e.onIncumbent != nil {
+		e.onIncumbent(Incumbent{Cost: greedy.Cost, Rows: len(greedy.Rows)})
 	}
 
-	rows := e.branchCandidates(branchCol, uncovered, banned)
+	r := e.root(greedy)
+	if r.done {
+		return e.finish(), nil
+	}
 	workers := parallel.Degree(opts.Parallelism)
-	_ = parallel.ForEach(workers, len(rows), func(_, i int) error { // infallible: the worker fn below always returns nil
+	_ = parallel.ForEach(workers, len(r.branchRows), func(_, i int) error { // infallible: the worker fn below always returns nil
 		if e.stop.Load() {
 			return nil
 		}
-		t := &bbTask{e: e, branch: i, localBound: greedy.Cost}
-		taskBanned := banned.Clone()
-		if e.exclude {
-			for _, r := range rows[:i] {
-				taskBanned.Add(r)
-			}
-		}
-		next := uncovered.Clone()
-		next.AndNot(p.rows[rows[i]])
-		chosen := make([]int, len(rootChosen), len(rootChosen)+8)
-		copy(chosen, rootChosen)
-		t.search(append(chosen, rows[i]), rootCost+e.rowCost(rows[i]), next, taskBanned)
+		e.runBranch(r, i, greedy.Cost)
 		return nil
 	})
-	return finish(), nil
+	return e.finish(), nil
 }

@@ -1,0 +1,154 @@
+package store
+
+// Remote is the HTTP client side of the shared artifact store: an
+// ArtifactStore whose records live behind another reseedd's
+// /v1/store/{flows,matrices}/{hash} endpoints. Records travel verbatim —
+// the same bytes SaveFlow/SaveMatrix would put on a local disk — and the
+// receiving server re-verifies the content address before persisting, so
+// a remote store inherits the local store's keying discipline and its
+// absence of an invalidation protocol.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dmatrix"
+)
+
+// remoteTimeout bounds every store round trip: an artifact fetch that
+// cannot finish in this long is slower than recomputing most artifacts,
+// and the engine treats the error as a miss anyway.
+const remoteTimeout = 30 * time.Second
+
+// maxRemoteRecord caps a fetched record body (a defensive bound far above
+// any real artifact; a misbehaving server must not exhaust memory).
+const maxRemoteRecord = 256 << 20
+
+// Remote implements engine.ArtifactStore over a reseedd replica's store
+// endpoints. Create it with NewRemote; it is safe for concurrent use.
+type Remote struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemote returns a Remote against base (e.g. "http://10.0.0.1:8351").
+// A nil client uses a private one with a conservative timeout.
+func NewRemote(base string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{Timeout: remoteTimeout}
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Remote{base: base, client: client}
+}
+
+// Base returns the remote's base URL (observability).
+func (r *Remote) Base() string { return r.base }
+
+// url renders the endpoint of one record.
+func (r *Remote) url(kind Kind, key string) string {
+	return fmt.Sprintf("%s/v1/store/%s/%s", r.base, kind, HashKey(key))
+}
+
+// get fetches a record's bytes; (nil, nil) means the key is absent.
+func (r *Remote) get(kind Kind, key string) ([]byte, error) {
+	resp, err := r.client.Get(r.url(kind, key))
+	if err != nil {
+		return nil, fmt.Errorf("store: remote get %s/%s: %w", kind, HashKey(key), err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteRecord))
+		if err != nil {
+			return nil, fmt.Errorf("store: remote get %s/%s: %w", kind, HashKey(key), err)
+		}
+		return data, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("store: remote get %s/%s: %s", kind, HashKey(key), resp.Status)
+	}
+}
+
+// put uploads a record's bytes.
+func (r *Remote) put(kind Kind, key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, r.url(kind, key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("store: remote put %s/%s: %w", kind, HashKey(key), err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote put %s/%s: %w", kind, HashKey(key), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
+		resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("store: remote put %s/%s: %s", kind, HashKey(key), resp.Status)
+	}
+	return nil
+}
+
+// LoadFlow fetches and rebuilds the flow stored under key, or returns
+// (nil, nil) when the remote does not hold it.
+func (r *Remote) LoadFlow(key string) (*core.Flow, error) {
+	data, err := r.get(KindFlows, key)
+	if err != nil || data == nil {
+		return nil, err
+	}
+	return DecodeFlow(key, data)
+}
+
+// SaveFlow uploads a prepared flow under its Engine cache key.
+func (r *Remote) SaveFlow(key string, f *core.Flow) error {
+	data, err := EncodeFlow(key, f)
+	if err != nil {
+		return err
+	}
+	return r.put(KindFlows, key, data)
+}
+
+// LoadMatrix fetches and rebuilds the Detection Matrix stored under key,
+// or returns (nil, nil) when the remote does not hold it.
+func (r *Remote) LoadMatrix(key string) (*dmatrix.Matrix, error) {
+	data, err := r.get(KindMatrices, key)
+	if err != nil || data == nil {
+		return nil, err
+	}
+	return DecodeMatrix(key, data)
+}
+
+// SaveMatrix uploads a Detection Matrix under its Engine cache key.
+func (r *Remote) SaveMatrix(key string, m *dmatrix.Matrix) error {
+	data, err := EncodeMatrix(key, m)
+	if err != nil {
+		return err
+	}
+	return r.put(KindMatrices, key, data)
+}
+
+// Probe is the remote backend's cheap health check: one GET of the
+// replica's /healthz under the probe's context. It feeds the
+// reseedd_store_up gauge.
+func (r *Remote) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: remote %s: health %s", r.base, resp.Status)
+	}
+	return nil
+}

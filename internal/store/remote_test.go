@@ -1,0 +1,334 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// storeHandler is a minimal stand-in for reseedd's /v1/store endpoints,
+// backed by a real Store — the same GetRaw/PutRaw contract the daemon
+// wires up, so these tests exercise the actual record round trip.
+func storeHandler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		rest, ok := strings.CutPrefix(r.URL.Path, "/v1/store/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		kindStr, hash, ok := strings.Cut(rest, "/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		kind, ok := ParseKind(kindStr)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, err := s.GetRaw(kind, hash)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if data == nil {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write(data)
+		case http.MethodPut:
+			data := make([]byte, 0, 1<<16)
+			buf := make([]byte, 1<<15)
+			for {
+				n, err := r.Body.Read(buf)
+				data = append(data, buf[:n]...)
+				if err != nil {
+					break
+				}
+			}
+			if err := s.PutRaw(kind, hash, data); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// A flow and matrix must survive the HTTP round trip exactly as they
+// survive the disk one, and absence must come back as (nil, nil).
+func TestRemoteRoundTrip(t *testing.T) {
+	backing, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storeHandler(backing))
+	defer srv.Close()
+	r := NewRemote(srv.URL+"/", nil) // trailing slash must be tolerated
+
+	if f, err := r.LoadFlow("absent"); err != nil || f != nil {
+		t.Fatalf("absent flow over HTTP: got (%v, %v), want (nil, nil)", f, err)
+	}
+
+	f := prepared(t)
+	const key = "bench:s420|remote-test"
+	if err := r.SaveFlow(key, f); err != nil {
+		t.Fatal(err)
+	}
+	// The record must have landed in the backing store under the content
+	// address, loadable by a plain local Store.
+	back, err := backing.LoadFlow(key)
+	if err != nil || back == nil {
+		t.Fatalf("remote save did not reach the backing store: (%v, %v)", back, err)
+	}
+	back, err = r.LoadFlow(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil {
+		t.Fatal("remote flow not found after save")
+	}
+	if len(back.AllFaults) != len(f.AllFaults) || len(back.Patterns) != len(f.Patterns) {
+		t.Fatalf("flow shape changed over HTTP: %d/%d faults, %d/%d patterns",
+			len(back.AllFaults), len(f.AllFaults), len(back.Patterns), len(f.Patterns))
+	}
+}
+
+// A remote server that is down is a store error, not an absence and not a
+// panic; the engine treats it as a miss and recomputes.
+func TestRemoteServerDown(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // immediately: every request now fails at the dial
+	r := NewRemote(srv.URL, nil)
+	if _, err := r.LoadFlow("any"); err == nil {
+		t.Error("load from a dead remote reported success")
+	}
+	if err := r.SaveFlow("any", prepared(t)); err == nil {
+		t.Error("save to a dead remote reported success")
+	}
+	if err := r.Probe(context.Background()); err == nil {
+		t.Error("probe of a dead remote reported healthy")
+	}
+
+	eng := engine.New(engine.Options{Store: r})
+	resp, err := eng.Solve(context.Background(),
+		engine.Request{Circuit: "s420", TPG: "adder", Cycles: 48, Seed: 2})
+	if err != nil {
+		t.Fatalf("dead remote store failed the solve: %v", err)
+	}
+	if resp.Solution.NumTriplets() == 0 {
+		t.Error("degenerate solution with dead remote store")
+	}
+	if st := eng.Stats(); st.StoreErrors == 0 {
+		t.Error("dead remote store not counted in StoreErrors")
+	}
+}
+
+// PutRaw is content addressing verified, not trusted: a record whose
+// embedded key does not hash to the claimed address, a keyless record,
+// malformed JSON, and a malformed address must all be rejected.
+func TestPutRawRejectsPoisonedRecords(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := EncodeFlow("key-a", prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		hash string
+		data []byte
+	}{
+		{"wrong address", HashKey("key-b"), good},
+		{"keyless record", HashKey("key-a"), []byte(`{"format":1}`)},
+		{"malformed record", HashKey("key-a"), []byte("{broken")},
+		{"traversal address", "../../etc/passwd", good},
+		{"short address", "abc123", good},
+		{"uppercase address", strings.ToUpper(HashKey("key-a")), good},
+	}
+	for _, c := range cases {
+		if err := s.PutRaw(KindFlows, c.hash, c.data); err == nil {
+			t.Errorf("%s: PutRaw accepted", c.name)
+		}
+	}
+	// The honest put succeeds and round-trips through GetRaw.
+	if err := s.PutRaw(KindFlows, HashKey("key-a"), good); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.GetRaw(KindFlows, HashKey("key-a"))
+	if err != nil || string(back) != string(good) {
+		t.Fatalf("GetRaw after PutRaw: %d bytes, err %v", len(back), err)
+	}
+	if data, err := s.GetRaw(KindFlows, HashKey("absent")); err != nil || data != nil {
+		t.Errorf("absent GetRaw: got (%d bytes, %v), want (nil, nil)", len(data), err)
+	}
+	if _, err := s.GetRaw(KindFlows, "not-a-hash"); err == nil {
+		t.Error("GetRaw accepted a malformed address")
+	}
+}
+
+// The shared-directory crash scenario of the fsync fix: a torn record (a
+// valid prefix cut mid-file, as a crash without fsync could publish) must
+// be a counted store error followed by recomputation — never a fatal
+// request failure, never silently accepted.
+func TestTornRecordIsCountedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := engine.Request{Circuit: "s420", TPG: "adder", Cycles: 48, Seed: 2}
+	if _, err := engine.New(engine.Options{Store: s}).Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// Tear every record in half — a truncated-but-prefix-valid file, the
+	// exact artifact a crashed peer without the fsync could leave behind.
+	for _, kind := range []Kind{KindFlows, KindMatrices} {
+		entries, err := os.ReadDir(fmt.Sprintf("%s/%s", dir, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			p := fmt.Sprintf("%s/%s/%s", dir, kind, e.Name())
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng := engine.New(engine.Options{Store: s})
+	resp, err := eng.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("torn records failed the solve: %v", err)
+	}
+	if resp.Solution.NumTriplets() == 0 {
+		t.Error("degenerate solution after torn records")
+	}
+	st := eng.Stats()
+	if st.StoreReadErrors == 0 {
+		t.Errorf("torn records not counted as read errors: %+v", st)
+	}
+	if st.PrepareBuilds != 1 || st.MatrixBuilds != 1 {
+		t.Errorf("torn records should force recomputation: %+v", st)
+	}
+}
+
+// Tiered semantics: local-first reads, remote fallback with local
+// fill-back, write-through saves, and both backends listed for probing.
+func TestTieredFillBackAndWriteThrough(t *testing.T) {
+	backing, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storeHandler(backing))
+	defer srv.Close()
+	local, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := NewTiered(local, NewRemote(srv.URL, nil))
+
+	if f, err := tier.LoadFlow("absent"); err != nil || f != nil {
+		t.Fatalf("absent tiered flow: got (%v, %v), want (nil, nil)", f, err)
+	}
+
+	// Seed only the remote: a tiered read must hit it and fill local back.
+	f := prepared(t)
+	const key = "bench:s420|tier-test"
+	if err := backing.SaveFlow(key, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tier.LoadFlow(key)
+	if err != nil || got == nil {
+		t.Fatalf("tiered read missed a remote-only record: (%v, %v)", got, err)
+	}
+	if filled, err := local.LoadFlow(key); err != nil || filled == nil {
+		t.Errorf("remote hit was not filled back locally: (%v, %v)", filled, err)
+	}
+
+	// Write-through: a tiered save lands in both levels.
+	const key2 = "bench:s420|tier-test-2"
+	if err := tier.SaveFlow(key2, f); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := local.LoadFlow(key2); err != nil || got == nil {
+		t.Errorf("write-through missed the local level: (%v, %v)", got, err)
+	}
+	if got, err := backing.LoadFlow(key2); err != nil || got == nil {
+		t.Errorf("write-through missed the remote level: (%v, %v)", got, err)
+	}
+
+	backends := tier.Backends()
+	if len(backends) != 2 || backends[0].Name != "local" || backends[1].Name != "remote" {
+		t.Fatalf("tiered backends: %+v", backends)
+	}
+	for _, b := range backends {
+		if err := b.Probe(context.Background()); err != nil {
+			t.Errorf("backend %s unhealthy: %v", b.Name, err)
+		}
+	}
+}
+
+// A full warm-restart through the tiered store: replica A (local dir A +
+// shared remote) computes; replica B (empty local dir B + same remote)
+// must serve the same request from the store with zero ATPG builds —
+// the cross-replica cache-sharing contract of the cluster.
+func TestTieredCrossReplicaWarmRestart(t *testing.T) {
+	backing, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storeHandler(backing))
+	defer srv.Close()
+	req := engine.Request{Circuit: "s420", TPG: "adder", Cycles: 48, Seed: 2, Parallelism: 1}
+
+	localA, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA := engine.New(engine.Options{Store: NewTiered(localA, NewRemote(srv.URL, nil))})
+	respA, err := engA.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localB, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB := engine.New(engine.Options{Store: NewTiered(localB, NewRemote(srv.URL, nil))})
+	respB, err := engB.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := engB.Stats()
+	if st.PrepareBuilds != 0 || st.MatrixBuilds != 0 {
+		t.Errorf("replica B recomputed artifacts shared by A: %+v", st)
+	}
+	if st.FlowStoreLoads != 1 || st.MatrixStoreLoads != 1 {
+		t.Errorf("replica B did not load from the shared store: %+v", st)
+	}
+	if respA.Solution.NumTriplets() != respB.Solution.NumTriplets() {
+		t.Errorf("replicas disagree on solution size: %d vs %d",
+			respA.Solution.NumTriplets(), respB.Solution.NumTriplets())
+	}
+}

@@ -32,11 +32,22 @@
 //
 // # Concurrency and atomicity
 //
-// Writes go to a temporary file in the same directory followed by an
-// atomic rename, so concurrent writers (several daemons sharing one store
-// directory) can only ever race toward identical content, and readers
-// never observe a torn file. The Store itself is stateless beyond its root
-// path and safe for concurrent use.
+// Writes go to a temporary file in the same directory, fsynced, then
+// atomically renamed into place, so concurrent writers (several daemons
+// sharing one store directory) can only ever race toward identical
+// content, readers never observe a torn file, and a replica that crashes
+// mid-write can never leave a truncated artifact visible to its peers.
+// The Store itself is stateless beyond its root path and safe for
+// concurrent use.
+//
+// # Remote and tiered backends
+//
+// The same record bytes travel over HTTP: reseedd serves its local store
+// at /v1/store/{flows,matrices}/{hash} (GET/PUT of whole records), Remote
+// is the client-side ArtifactStore over those endpoints, and Tiered
+// layers a local Store in front of a Remote — reads fill the local level
+// back, writes go to both — so N replicas share one content-addressed
+// artifact universe while keeping warm-shard reads on local disk.
 package store
 
 import (
@@ -64,6 +75,34 @@ import (
 // rewritten), never as errors.
 const formatVersion = 1
 
+// A Kind names one of the store's two artifact namespaces; it doubles as
+// the subdirectory name on disk and the path segment of the HTTP store
+// endpoints.
+type Kind string
+
+const (
+	KindFlows    Kind = "flows"
+	KindMatrices Kind = "matrices"
+)
+
+// ParseKind maps an HTTP path segment to its Kind.
+func ParseKind(s string) (Kind, bool) {
+	switch Kind(s) {
+	case KindFlows, KindMatrices:
+		return Kind(s), true
+	}
+	return "", false
+}
+
+// HashKey maps an Engine cache key to its content address: the lowercase
+// hex SHA-256 of the key. It is the on-disk file name (plus ".json") and
+// the {hash} segment of the HTTP store endpoints, so every backend
+// addresses the same artifact the same way.
+func HashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
 // Store is an on-disk artifact cache rooted at one directory. Open it with
 // Open; the zero value is not usable.
 type Store struct {
@@ -85,9 +124,13 @@ func Open(dir string) (*Store, error) {
 func (s *Store) Dir() string { return s.root }
 
 // path maps an Engine cache key to its file: subdir/<sha256(key)>.json.
-func (s *Store) path(subdir, key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.root, subdir, hex.EncodeToString(sum[:])+".json")
+func (s *Store) path(subdir Kind, key string) string {
+	return s.hashPath(subdir, HashKey(key))
+}
+
+// hashPath maps an already-hashed address to its file.
+func (s *Store) hashPath(subdir Kind, hash string) string {
+	return filepath.Join(s.root, string(subdir), hash+".json")
 }
 
 // Len reports the number of persisted flows and matrices (observability;
@@ -110,17 +153,26 @@ func (s *Store) Len() (flows, matrices int, err error) {
 	return flows, matrices, nil
 }
 
-// writeJSON atomically replaces path with the JSON rendering of v.
-func writeJSON(path string, v any) error {
+// writeFileAtomic atomically replaces path with data: write to a
+// temporary file in the same directory, fsync it, rename it into place,
+// then fsync the directory. The fsync before the rename is what keeps a
+// shared store crash-safe: without it a replica dying at the wrong moment
+// could publish a name whose content had never reached the disk, and
+// every peer would read a truncated artifact.
+func writeFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	enc := json.NewEncoder(tmp)
-	if err := enc.Encode(v); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: encode %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: sync %s: %w", filepath.Base(path), err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -130,23 +182,84 @@ func writeJSON(path string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	// Publish the rename itself. A failure here means the artifact is
+	// readable but its durability across a host crash is uncertain — report
+	// it; the engine counts it and the artifact stays usable in memory.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", filepath.Dir(path), err)
+	}
 	return nil
 }
 
-// readJSON decodes path into v. The bool reports presence: (false, nil)
+// readFile returns path's bytes. The bool reports presence: (false, nil)
 // means the file does not exist.
-func readJSON(path string, v any) (bool, error) {
+func readFile(path string) ([]byte, bool, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return false, nil
+		return nil, false, nil
 	}
 	if err != nil {
-		return false, fmt.Errorf("store: %w", err)
+		return nil, false, fmt.Errorf("store: %w", err)
 	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return false, fmt.Errorf("store: decode %s: %w", filepath.Base(path), err)
+	return data, true, nil
+}
+
+// GetRaw returns the stored record bytes at (kind, hash), or (nil, nil)
+// when absent — the read side of the HTTP store endpoints. The hash must
+// be a well-formed content address (64 lowercase hex digits).
+func (s *Store) GetRaw(kind Kind, hash string) ([]byte, error) {
+	if err := checkHash(hash); err != nil {
+		return nil, err
 	}
-	return true, nil
+	data, ok, err := readFile(s.hashPath(kind, hash))
+	if err != nil || !ok {
+		return nil, err
+	}
+	return data, nil
+}
+
+// PutRaw stores raw record bytes under (kind, hash) — the write side of
+// the HTTP store endpoints. The record must be a well-formed store record
+// whose embedded key hashes to the given address, so a confused or
+// malicious writer cannot poison someone else's artifact: content
+// addressing is verified, not trusted.
+func (s *Store) PutRaw(kind Kind, hash string, data []byte) error {
+	if err := checkHash(hash); err != nil {
+		return err
+	}
+	var rec struct {
+		Format int    `json:"format"`
+		Key    string `json:"key"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("store: put %s/%s: malformed record: %w", kind, hash, err)
+	}
+	if rec.Key == "" {
+		return fmt.Errorf("store: put %s/%s: record carries no key", kind, hash)
+	}
+	if got := HashKey(rec.Key); got != hash {
+		return fmt.Errorf("store: put %s/%s: record key hashes to %s", kind, hash, got)
+	}
+	return writeFileAtomic(s.hashPath(kind, hash), data)
+}
+
+// checkHash validates a content address: exactly the lowercase hex form
+// HashKey produces, so an address can never traverse outside the store.
+func checkHash(hash string) error {
+	if len(hash) != sha256.Size*2 {
+		return fmt.Errorf("store: malformed content address %q", hash)
+	}
+	for _, c := range []byte(hash) {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: malformed content address %q", hash)
+		}
+	}
+	return nil
 }
 
 // faultJSON is a stuck-at fault addressed by gate name (stable across the
@@ -179,6 +292,16 @@ type flowJSON struct {
 
 // SaveFlow persists a prepared flow under its Engine cache key.
 func (s *Store) SaveFlow(key string, f *core.Flow) error {
+	data, err := EncodeFlow(key, f)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(KindFlows, key), data)
+}
+
+// EncodeFlow renders a flow as its store record bytes — the form every
+// backend (disk file, HTTP body) persists.
+func EncodeFlow(key string, f *core.Flow) ([]byte, error) {
 	rec := flowJSON{
 		Format:     formatVersion,
 		Key:        key,
@@ -200,7 +323,11 @@ func (s *Store) SaveFlow(key string, f *core.Flow) error {
 	for _, p := range f.Patterns {
 		rec.Patterns = append(rec.Patterns, p.Hex())
 	}
-	return writeJSON(s.path("flows", key), rec)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode flow %s: %w", key, err)
+	}
+	return append(data, '\n'), nil
 }
 
 // LoadFlow rebuilds the flow stored under key, or returns (nil, nil) when
@@ -209,10 +336,20 @@ func (s *Store) SaveFlow(key string, f *core.Flow) error {
 // is behaviorally identical to the one Prepare computed even though gate
 // IDs may be numbered differently.
 func (s *Store) LoadFlow(key string) (*core.Flow, error) {
-	var rec flowJSON
-	ok, err := readJSON(s.path("flows", key), &rec)
+	data, ok, err := readFile(s.path(KindFlows, key))
 	if err != nil || !ok {
 		return nil, err
+	}
+	return DecodeFlow(key, data)
+}
+
+// DecodeFlow rebuilds a flow from its store record bytes, verifying the
+// embedded key. It returns (nil, nil) for a record of another schema
+// generation (treated as absent, recomputed and rewritten).
+func DecodeFlow(key string, data []byte) (*core.Flow, error) {
+	var rec flowJSON
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: decode flow %s: %w", HashKey(key), err)
 	}
 	if rec.Format != formatVersion {
 		return nil, nil // other schema generation: treat as absent
@@ -327,6 +464,15 @@ func decodeFirstDetection(blob string, rows, cols int) ([][]int32, error) {
 
 // SaveMatrix persists a Detection Matrix under its Engine cache key.
 func (s *Store) SaveMatrix(key string, m *dmatrix.Matrix) error {
+	data, err := EncodeMatrix(key, m)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(KindMatrices, key), data)
+}
+
+// EncodeMatrix renders a Detection Matrix as its store record bytes.
+func EncodeMatrix(key string, m *dmatrix.Matrix) ([]byte, error) {
 	rec := matrixJSON{
 		Format:         formatVersion,
 		Key:            key,
@@ -349,16 +495,30 @@ func (s *Store) SaveMatrix(key string, m *dmatrix.Matrix) error {
 	for _, r := range m.Rows {
 		rec.Rows = append(rec.Rows, r.Hex())
 	}
-	return writeJSON(s.path("matrices", key), rec)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode matrix %s: %w", key, err)
+	}
+	return append(data, '\n'), nil
 }
 
 // LoadMatrix rebuilds the Detection Matrix stored under key, or returns
 // (nil, nil) when none is stored.
 func (s *Store) LoadMatrix(key string) (*dmatrix.Matrix, error) {
-	var rec matrixJSON
-	ok, err := readJSON(s.path("matrices", key), &rec)
+	data, ok, err := readFile(s.path(KindMatrices, key))
 	if err != nil || !ok {
 		return nil, err
+	}
+	return DecodeMatrix(key, data)
+}
+
+// DecodeMatrix rebuilds a Detection Matrix from its store record bytes,
+// verifying the embedded key. It returns (nil, nil) for a record of
+// another schema generation.
+func DecodeMatrix(key string, data []byte) (*dmatrix.Matrix, error) {
+	var rec matrixJSON
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: decode matrix %s: %w", HashKey(key), err)
 	}
 	if rec.Format != formatVersion {
 		return nil, nil

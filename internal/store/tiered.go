@@ -1,0 +1,113 @@
+package store
+
+// Tiered layers a local Store in front of a Remote so a replica keeps its
+// warm shard on local disk while still sharing one artifact universe with
+// its peers: reads try local first and fill it back on a remote hit,
+// writes go to both levels.
+
+import (
+	"context"
+	"errors"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dmatrix"
+)
+
+// Backend is one level of an artifact store for health reporting: a
+// stable name and a cheap probe. The server's store prober walks these to
+// feed the per-backend store_up gauge.
+type Backend struct {
+	// Name labels the backend in metrics ("local", "remote").
+	Name string
+	// Probe reports nil when the backend is reachable/usable.
+	Probe func(ctx context.Context) error
+}
+
+// Probe is the local backend's health check: the root directory must
+// still exist and be a directory. It is deliberately cheap (one stat) so
+// the server can run it on every scrape interval.
+func (s *Store) Probe(_ context.Context) error {
+	fi, err := os.Stat(s.root)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		return errors.New("store: root is not a directory")
+	}
+	return nil
+}
+
+// Backends returns the local store's single backend descriptor.
+func (s *Store) Backends() []Backend {
+	return []Backend{{Name: "local", Probe: s.Probe}}
+}
+
+// Backends returns the remote store's single backend descriptor.
+func (r *Remote) Backends() []Backend {
+	return []Backend{{Name: "remote", Probe: r.Probe}}
+}
+
+// Tiered is a two-level ArtifactStore: local first, remote behind it.
+// Create it with NewTiered; it is safe for concurrent use.
+type Tiered struct {
+	local  *Store
+	remote *Remote
+}
+
+// NewTiered layers local in front of remote.
+func NewTiered(local *Store, remote *Remote) *Tiered {
+	return &Tiered{local: local, remote: remote}
+}
+
+// Local returns the tier's local store.
+func (t *Tiered) Local() *Store { return t.local }
+
+// Remote returns the tier's remote store.
+func (t *Tiered) Remote() *Remote { return t.remote }
+
+// Backends returns both levels' backend descriptors, local first.
+func (t *Tiered) Backends() []Backend {
+	return append(t.local.Backends(), t.remote.Backends()...)
+}
+
+// LoadFlow reads local first, then remote; a remote hit is written back
+// to the local level best-effort (the flow is already in hand — a
+// write-back failure must not fail the read).
+func (t *Tiered) LoadFlow(key string) (*core.Flow, error) {
+	f, err := t.local.LoadFlow(key)
+	if err != nil || f != nil {
+		return f, err
+	}
+	f, err = t.remote.LoadFlow(key)
+	if err != nil || f == nil {
+		return nil, err
+	}
+	_ = t.local.SaveFlow(key, f) // best-effort: fill-back; the remote copy remains authoritative
+	return f, nil
+}
+
+// SaveFlow writes through to both levels; the errors (if any) are joined
+// so the engine's store-error counter sees every failed level.
+func (t *Tiered) SaveFlow(key string, f *core.Flow) error {
+	return errors.Join(t.local.SaveFlow(key, f), t.remote.SaveFlow(key, f))
+}
+
+// LoadMatrix reads local first, then remote with local fill-back.
+func (t *Tiered) LoadMatrix(key string) (*dmatrix.Matrix, error) {
+	m, err := t.local.LoadMatrix(key)
+	if err != nil || m != nil {
+		return m, err
+	}
+	m, err = t.remote.LoadMatrix(key)
+	if err != nil || m == nil {
+		return nil, err
+	}
+	_ = t.local.SaveMatrix(key, m) // best-effort: fill-back; the remote copy remains authoritative
+	return m, nil
+}
+
+// SaveMatrix writes through to both levels.
+func (t *Tiered) SaveMatrix(key string, m *dmatrix.Matrix) error {
+	return errors.Join(t.local.SaveMatrix(key, m), t.remote.SaveMatrix(key, m))
+}
