@@ -35,9 +35,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	reseeding "repro"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -60,6 +62,8 @@ func main() {
 			"wall-clock budget for the exact covering solve; truncated solves return the best cover found (0 = none)")
 		bound = flag.String("bound", "",
 			"exact solver lower bound: auto (lagrangian, the default) or counting; the cover is bit-identical either way")
+		trace = flag.Bool("trace", false,
+			"record a phase-structured solve trace and print the per-phase breakdown (also embedded in -json output as response.timing)")
 	)
 	flag.Parse()
 
@@ -102,6 +106,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "reseed: %s: running ATPG, building the Detection Matrix and solving with the %s TPG (interrupt to keep the best cover found)...\n",
 		target, *kind)
 
+	if *trace {
+		// Tracing is strictly additive: the solution is bit-identical with
+		// the flag on or off; only Response.Timing appears.
+		ctx = obs.ContextWithTrace(ctx, obs.NewTrace("reseed"))
+	}
 	eng := reseeding.NewEngine(reseeding.EngineOptions{Parallelism: *jobs})
 	resp, err := eng.Solve(ctx, req)
 	if err != nil {
@@ -155,6 +164,10 @@ func main() {
 	if resp.Interrupted {
 		fmt.Println("interrupted: this is the best cover found before cancellation (optimal=false)")
 	}
+	if *trace && resp.Timing != nil {
+		fmt.Println()
+		printTrace(resp.Timing)
+	}
 
 	if *verbose {
 		fmt.Println()
@@ -172,6 +185,51 @@ func main() {
 		if err := t.Render(os.Stdout); err != nil {
 			fail(err)
 		}
+	}
+}
+
+// printTrace renders the solve's span tree as an indented per-phase
+// breakdown: children under parents, durations in milliseconds, counter
+// attributes appended.
+func printTrace(td *obs.TraceData) {
+	fmt.Printf("trace %s (%d spans", td.TraceID, len(td.Spans))
+	if td.Dropped > 0 {
+		fmt.Printf(", %d dropped", td.Dropped)
+	}
+	fmt.Println("):")
+	children := make(map[string][]obs.SpanData)
+	local := make(map[string]bool, len(td.Spans))
+	for _, sp := range td.Spans {
+		local[sp.SpanID] = true
+	}
+	var roots []obs.SpanData
+	for _, sp := range td.Spans {
+		if sp.Parent != "" && local[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var walk func(sp obs.SpanData, depth int)
+	walk = func(sp obs.SpanData, depth int) {
+		fmt.Printf("%*s%-12s %9.2fms", 2*depth, "", sp.Name, float64(sp.Duration)/1e6)
+		for _, a := range sp.Attrs {
+			if a.Str != "" {
+				fmt.Printf("  %s=%s", a.Key, a.Str)
+			} else {
+				fmt.Printf("  %s=%d", a.Key, a.Int)
+			}
+		}
+		fmt.Println()
+		kids := children[sp.SpanID]
+		sort.Slice(kids, func(a, b int) bool { return kids[a].Start < kids[b].Start })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a].Start < roots[b].Start })
+	for _, sp := range roots {
+		walk(sp, 0)
 	}
 }
 

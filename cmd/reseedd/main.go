@@ -18,6 +18,7 @@
 //	DELETE /v1/jobs/{id}   cancel it (keeps the best cover found)
 //	GET    /v1/stats       engine + server counters
 //	GET    /metrics        Prometheus text exposition
+//	GET    /v1/traces      solve-trace flight recorder (docs/OBSERVABILITY.md)
 //
 // With -store, ATPG preparations and Detection Matrices are persisted as
 // content-addressed JSON under the given directory, and a restarted daemon
@@ -52,6 +53,7 @@ import (
 	"time"
 
 	reseeding "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -81,6 +83,10 @@ func main() {
 			"comma-separated base URLs of sibling replicas accepting distributed subtree leases")
 		advertise = flag.String("advertise", "",
 			"this replica's own base URL as peers reach it (enables incumbent exchange)")
+		processName = flag.String("process-name", "reseedd",
+			"process label stamped on trace spans (distinguishes replicas in stitched traces)")
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this address (empty = profiling disabled)")
 	)
 	flag.Parse()
 	log.SetPrefix("reseedd: ")
@@ -99,6 +105,15 @@ func main() {
 		// The batch fan-out obeys the same -j bound as every other worker
 		// pool, so -j 1 genuinely serializes the daemon.
 		BatchParallelism: *jobs,
+		ProcessName:      *processName,
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() { log.Print(http.Serve(pln, obs.PprofHandler())) }()
 	}
 	var localStore *reseeding.Store
 	if *storeDir != "" {

@@ -21,6 +21,7 @@
 //	DELETE /v1/jobs/{id}   likewise
 //	GET    /v1/route       placement debug: ?circuit=NAME -> preference list
 //	GET    /metrics        gateway counters + per-replica liveness
+//	GET    /v1/traces      stitched cross-process traces (docs/OBSERVABILITY.md)
 package main
 
 import (
@@ -32,13 +33,16 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8350", "listen address (host:port; port 0 picks a free port)")
-		replicas = flag.String("replicas", "", "comma-separated base URLs of the reseedd replicas (required)")
-		interval = flag.Duration("probe-interval", 2*time.Second, "replica health probe cadence")
+		addr      = flag.String("addr", ":8350", "listen address (host:port; port 0 picks a free port)")
+		replicas  = flag.String("replicas", "", "comma-separated base URLs of the reseedd replicas (required)")
+		interval  = flag.Duration("probe-interval", 2*time.Second, "replica health probe cadence")
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this address (empty = profiling disabled)")
 	)
 	flag.Parse()
 	log.SetPrefix("reseedgw: ")
@@ -59,6 +63,15 @@ func main() {
 	health.Start()
 	defer health.Close()
 	gw := cluster.NewGateway(ring, health, &http.Client{})
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() { log.Print(http.Serve(pln, obs.PprofHandler())) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

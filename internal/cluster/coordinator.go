@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/setcover"
 )
@@ -84,6 +85,10 @@ func (c *Coordinator) Solve(ctx context.Context, p *setcover.Problem, weights []
 	defer closeEntry()
 
 	n := pl.NumBranches()
+	dctx, dsp := obs.StartSpan(ctx, "dist")
+	dsp.SetInt("branches", int64(n))
+	dsp.SetInt("peers", int64(len(c.Peers)))
+	defer dsp.End()
 	queue := make(chan int, n)
 	for b := 0; b < n; b++ {
 		queue <- b
@@ -114,6 +119,8 @@ func (c *Coordinator) Solve(ctx context.Context, p *setcover.Problem, weights []
 				case <-ctx.Done():
 					return
 				case b := <-queue:
+					_, ssp := obs.StartSpan(dctx, "subtree")
+					ssp.SetInt("branch", int64(b))
 					res, err := pl.SolveSubtree(b, setcover.SubtreeOptions{
 						MaxNodes: c.SubtreeMaxNodes,
 						Context:  ctx,
@@ -125,9 +132,12 @@ func (c *Coordinator) Solve(ctx context.Context, p *setcover.Problem, weights []
 					if err != nil {
 						// Only invalid branches error, and the queue holds
 						// valid ones; treat as a lost lease.
+						ssp.End()
 						finish()
 						continue
 					}
+					ssp.SetInt("nodes", res.Nodes)
+					ssp.End()
 					results <- res
 					finish()
 				}
@@ -149,7 +159,13 @@ func (c *Coordinator) Solve(ctx context.Context, p *setcover.Problem, weights []
 				case <-ctx.Done():
 					return
 				case b := <-queue:
-					res, ok := c.leaseToPeer(ctx, peer, SubtreeRequest{
+					// The lease span's position travels with the lease; the
+					// worker's subtree span parents to it, so the spans it
+					// ships back (folded in by leaseToPeer) stitch under it.
+					lctx, lsp := obs.StartSpan(dctx, "lease")
+					lsp.SetInt("branch", int64(b))
+					lsp.SetStr("peer", peer)
+					res, ok := c.leaseToPeer(lctx, peer, SubtreeRequest{
 						SolveID:     solveID,
 						Problem:     pw,
 						Opts:        ow,
@@ -157,11 +173,15 @@ func (c *Coordinator) Solve(ctx context.Context, p *setcover.Problem, weights []
 						MaxNodes:    c.SubtreeMaxNodes,
 						Incumbent:   c.Board.Best(solveID),
 						Coordinator: c.Self,
+						Traceparent: obs.Traceparent(lctx),
 					})
 					if !ok {
+						lsp.SetInt("requeued", 1)
+						lsp.End()
 						queue <- b // hand the branch back for someone alive
 						return
 					}
+					lsp.End()
 					results <- res
 					finish()
 				}
@@ -210,6 +230,11 @@ func (c *Coordinator) leaseToPeer(ctx context.Context, peer string, lease Subtre
 	}
 	if sr.SolveID != lease.SolveID || sr.Result.Branch != lease.Branch {
 		return setcover.SubtreeResult{}, false
+	}
+	// Fold the worker-side spans into our trace: they share our trace ID
+	// (built from the lease's traceparent) and parent to the lease span.
+	if tr := obs.FromContext(ctx); tr != nil {
+		tr.AddSpans(sr.Spans)
 	}
 	c.Board.Exchange(lease.SolveID, func() int {
 		if sr.Result.Found {

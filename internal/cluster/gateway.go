@@ -15,10 +15,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // maxGatewayBody bounds a buffered request body. It matches the order of
@@ -29,15 +31,19 @@ const maxGatewayBody = 64 << 20
 // Gateway is the HTTP front end. Build with NewGateway, serve its
 // Handler.
 type Gateway struct {
-	ring   *Ring
-	health *Health
-	client *http.Client
-	mux    *http.ServeMux
+	ring     *Ring
+	health   *Health
+	client   *http.Client
+	mux      *http.ServeMux
+	recorder *obs.Recorder // flight recorder behind the gateway's GET /v1/traces
 
 	requests  atomic.Int64 // proxied requests
 	failovers atomic.Int64 // retries on a fallback replica
 	exhausted atomic.Int64 // requests that ran out of live replicas
 }
+
+// gatewayProcess labels the gateway's trace spans.
+const gatewayProcess = "reseedgw"
 
 // NewGateway builds a gateway over the replica set. health may be nil
 // for a gateway that never marks replicas down (tests); client nil gets
@@ -47,21 +53,57 @@ func NewGateway(ring *Ring, health *Health, client *http.Client) *Gateway {
 	if client == nil {
 		client = &http.Client{}
 	}
-	g := &Gateway{ring: ring, health: health, client: client, mux: http.NewServeMux()}
+	g := &Gateway{ring: ring, health: health, client: client, mux: http.NewServeMux(),
+		recorder: obs.NewRecorder(0)}
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("POST /v1/solve", g.keyRouted)
 	g.mux.HandleFunc("POST /v1/batch", g.keyRouted)
 	g.mux.HandleFunc("POST /v1/jobs", g.keyRouted)
+	g.mux.HandleFunc("POST /v1/dist/solve", g.keyRouted)
 	g.mux.HandleFunc("GET /v1/jobs", g.handleJobList)
 	g.mux.HandleFunc("GET /v1/jobs/{id}", g.fanFirst)
 	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.fanFirst)
 	g.mux.HandleFunc("GET /v1/route", g.handleRoute)
+	g.mux.HandleFunc("GET /v1/traces", g.handleTraceList)
+	g.mux.HandleFunc("GET /v1/traces/{id}", g.handleTraceGet)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return g
 }
 
-// Handler returns the gateway's HTTP handler.
-func (g *Gateway) Handler() http.Handler { return g.mux }
+// Handler returns the gateway's HTTP handler: the API wrapped in the
+// tracing middleware. Every proxied request gets a gateway-side trace
+// (continuing an incoming W3C traceparent when one parses; a malformed
+// header degrades to a fresh root, never an error), and the hop's
+// position travels to the replica on the outbound traceparent header —
+// so gateway and replica spans share one trace ID and stitch.
+func (g *Gateway) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !gatewayTraced(r.URL.Path) {
+			g.mux.ServeHTTP(w, r)
+			return
+		}
+		var tr *obs.Trace
+		if tid, pid, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+			tr = obs.NewTraceWithParent(tid, pid, gatewayProcess)
+		} else {
+			tr = obs.NewTrace(gatewayProcess)
+		}
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		ctx, sp := obs.StartSpan(ctx, "gateway "+r.URL.Path)
+		w.Header().Set("Traceparent", obs.FormatTraceparent(tr.ID(), sp.ID()))
+		g.mux.ServeHTTP(w, r.WithContext(ctx))
+		sp.End()
+		g.recorder.Record(tr.Data())
+	})
+}
+
+// gatewayTraced excludes read-side plumbing from tracing, mirroring the
+// replica's policy: scrapes and probes would evict real solve traces
+// from the bounded recorder.
+func gatewayTraced(p string) bool {
+	return p != "/metrics" && p != "/healthz" && p != "/v1/route" &&
+		!strings.HasPrefix(p, "/v1/traces")
+}
 
 func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -150,13 +192,23 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, targets []string
 		if i > 0 {
 			g.failovers.Add(1)
 		}
-		out, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path+querySuffix(r), bytes.NewReader(body))
+		pctx, psp := obs.StartSpan(r.Context(), "proxy")
+		psp.SetStr("target", target)
+		out, err := http.NewRequestWithContext(pctx, r.Method, target+r.URL.Path+querySuffix(r), bytes.NewReader(body))
 		if err != nil {
+			psp.End()
 			continue
 		}
 		copyHeader(out.Header, r.Header)
+		// The proxy span's position replaces any client traceparent: the
+		// replica's request span must parent to this hop, not skip it.
+		if tp := obs.Traceparent(pctx); tp != "" {
+			out.Header.Set("Traceparent", tp)
+		}
 		resp, err := g.client.Do(out)
 		if err != nil {
+			psp.SetStr("error", "transport")
+			psp.End()
 			if g.health != nil {
 				g.health.MarkDown(target)
 			}
@@ -164,11 +216,15 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, targets []string
 		}
 		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
 			resp.Body.Close()
+			psp.SetInt("code", int64(resp.StatusCode))
+			psp.End()
 			if g.health != nil {
 				g.health.MarkDown(target)
 			}
 			continue
 		}
+		psp.SetInt("code", int64(resp.StatusCode))
+		psp.End()
 		relay(w, resp)
 		return
 	}
@@ -186,7 +242,7 @@ func querySuffix(r *http.Request) string {
 func copyHeader(dst, src http.Header) {
 	for k, vs := range src {
 		switch k {
-		case "Content-Type", "Accept", "Authorization":
+		case "Content-Type", "Accept", "Authorization", "Traceparent":
 			dst[k] = vs
 		}
 	}
@@ -304,6 +360,64 @@ func (g *Gateway) handleRoute(w http.ResponseWriter, r *http.Request) {
 		"primary":    primary,
 		"preference": pref,
 	})
+}
+
+// handleTraceList serves the gateway-side flight recorder as summaries
+// (trace id, span count, process). The full cross-process view is
+// GET /v1/traces/{id}, which merges the replica sides in.
+func (g *Gateway) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		TraceID string `json:"trace_id"`
+		Process string `json:"process,omitempty"`
+		Spans   int    `json:"spans"`
+		Dropped int    `json:"dropped_spans,omitempty"`
+	}
+	traces := g.recorder.List()
+	out := make([]summary, 0, len(traces))
+	for _, td := range traces {
+		out = append(out, summary{TraceID: td.TraceID, Process: td.Process, Spans: len(td.Spans), Dropped: td.Dropped})
+	}
+	g.writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTraceGet assembles the cross-process view of one trace: the
+// gateway's own spans merged with every replica's (same trace ID, fetched
+// from each replica's /v1/traces — best-effort, a dead replica just
+// contributes nothing). 404 only when no process holds the trace.
+func (g *Gateway) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	merged, ok := g.recorder.Get(id)
+	for _, target := range g.ring.Replicas() {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target+"/v1/traces/"+id, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		var td obs.TraceData
+		err = json.NewDecoder(resp.Body).Decode(&td)
+		resp.Body.Close()
+		if err != nil || td.TraceID != id {
+			continue
+		}
+		if merged == nil {
+			merged, ok = &td, true
+			continue
+		}
+		merged.Spans = append(merged.Spans, td.Spans...)
+		merged.Dropped += td.Dropped
+	}
+	if !ok {
+		g.writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown trace " + id})
+		return
+	}
+	g.writeJSON(w, http.StatusOK, merged)
 }
 
 // handleMetrics exposes gateway counters in Prometheus text format,

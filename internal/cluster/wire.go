@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 )
 
@@ -162,12 +163,22 @@ type SubtreeRequest struct {
 	// incumbents with (POST {coordinator}/v1/dist/incumbent) while the
 	// lease runs.
 	Coordinator string `json:"coordinator,omitempty"`
+	// Traceparent, when non-empty, is the coordinator's W3C trace
+	// position for this lease (its per-branch lease span): the worker's
+	// subtree span parents to it, so the shipped-back spans stitch into
+	// the coordinator's trace. Telemetry only — it never affects the
+	// search.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // SubtreeResponse answers a lease.
 type SubtreeResponse struct {
 	SolveID string                 `json:"solve_id"`
 	Result  setcover.SubtreeResult `json:"result"`
+	// Spans are the worker-side trace spans of this lease (present only
+	// when the lease carried a Traceparent); the coordinator folds them
+	// into its own trace.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // IncumbentMsg is one incumbent exchange (POST /v1/dist/incumbent): the

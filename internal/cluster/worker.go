@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/setcover"
 )
 
@@ -28,6 +29,20 @@ const incumbentInterval = 250 * time.Millisecond
 // coordinator that stops answering only stops the exchange — the search
 // itself never depends on it.
 func ExecuteSubtree(ctx context.Context, req *SubtreeRequest, client *http.Client) (*SubtreeResponse, error) {
+	// A lease carrying a traceparent gets its own child trace: the
+	// subtree span below parents to the coordinator's lease span, and the
+	// recorded spans ship back in the response for the coordinator to
+	// fold in. A malformed traceparent degrades to no tracing, never to
+	// an error.
+	var ltr *obs.Trace
+	if tid, pid, ok := obs.ParseTraceparent(req.Traceparent); ok {
+		proc := "worker"
+		if cur := obs.FromContext(ctx); cur != nil {
+			proc = cur.Process() // the daemon's configured process name
+		}
+		ltr = obs.NewTraceWithParent(tid, pid, proc)
+		ctx = obs.ContextWithTrace(ctx, ltr)
+	}
 	p, weights, err := req.Problem.Decode()
 	if err != nil {
 		return nil, err
@@ -78,6 +93,7 @@ func ExecuteSubtree(ctx context.Context, req *SubtreeRequest, client *http.Clien
 		}()
 	}
 
+	_, ssp := obs.StartSpan(ctx, "subtree")
 	res, err := pl.SolveSubtree(req.Branch, setcover.SubtreeOptions{
 		MaxNodes: req.MaxNodes,
 		Context:  ctx,
@@ -88,15 +104,32 @@ func ExecuteSubtree(ctx context.Context, req *SubtreeRequest, client *http.Clien
 		},
 	})
 	if err != nil {
+		ssp.End()
 		return nil, err
 	}
+	ssp.SetInt("branch", int64(req.Branch))
+	ssp.SetInt("nodes", res.Nodes)
+	ssp.SetInt("found", b2i(res.Found))
+	ssp.SetInt("truncated", b2i(res.Truncated))
+	if res.Found {
+		ssp.SetInt("cost", int64(res.Cost))
+	}
+	ssp.End()
 	stopExchange()
 	// One final push so the coordinator hears the last improvement even
 	// if the ticker never fired after it (short subtrees).
 	if req.Coordinator != "" && localBest.Load() > 0 {
 		exchangeIncumbent(ctx, client, req.Coordinator, req.SolveID, int(localBest.Load()))
 	}
-	return &SubtreeResponse{SolveID: req.SolveID, Result: res}, nil
+	return &SubtreeResponse{SolveID: req.SolveID, Result: res, Spans: ltr.Snapshot()}, nil
+}
+
+// b2i renders a bool as a span attribute value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // lowerInt64 CASes v down to x when x is an improvement.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dmatrix"
 	"repro/internal/fault"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 	"repro/internal/tpg"
 )
@@ -221,6 +222,12 @@ type Solution struct {
 	ReductionIters int
 	SolverNodes    int64
 	Optimal        bool
+	// RootLB is the exact solver's root lower bound on the covering cost
+	// of the whole solution (essential rows included): triplet count for
+	// MinimizeTriplets, total weight for MinimizeTestLength. Cost-RootLB
+	// bounds the optimality gap a truncated solve may have left open; 0
+	// for greedy solves, which prove no bound.
+	RootLB int
 
 	// Effort counters.
 	GateEvals   int64
@@ -303,6 +310,15 @@ func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (
 		TripletSims: m.TripletSims,
 	}
 
+	// The covering span wraps reduction plus the covering solve; the
+	// solver's own ascent/bb spans nest under it via Exact.Context. A nil
+	// span (no trace on the context) leaves the options untouched.
+	cctx, csp := obs.StartSpan(opts.Context, "covering")
+	defer csp.End()
+	if csp != nil {
+		opts.Exact.Context = cctx
+	}
+
 	var chosen []int
 	necessary := map[int]bool{}
 	if opts.Objective == MinimizeTestLength {
@@ -323,10 +339,18 @@ func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (
 		sol.ReductionIters = red.Iterations
 		sol.SolverNodes = sub.Nodes
 		sol.Optimal = sub.Optimal
+		// Offset the residual solve's root bound by the essential rows'
+		// weight, so RootLB bounds the whole solution's covering cost.
+		essWeight := 0
+		for _, r := range red.Essential {
+			essWeight += weights[r]
+		}
+		sol.RootLB = sub.RootLB + essWeight
 		for _, r := range red.Essential {
 			necessary[r] = true
 		}
 		chosen = sub.Rows
+		coveringAttrs(csp, sol, len(red.Essential))
 		return f.assemble(sol, m, chosen, necessary, opts)
 	}
 	switch opts.Solver {
@@ -340,7 +364,12 @@ func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (
 		sol.ResidualRows = m.NumTriplets()
 		sol.ResidualCols = m.NumFaults
 	case SolverGreedy, SolverExact:
+		_, rsp := obs.StartSpan(cctx, "reduce")
 		red := problem.Reduce()
+		rsp.SetInt("residual_rows", int64(red.Residual.NumRows()))
+		rsp.SetInt("residual_cols", int64(red.Residual.NumCols()))
+		rsp.SetInt("essential", int64(len(red.Essential)))
+		rsp.End()
 		sol.ResidualRows = red.Residual.NumRows()
 		sol.ResidualCols = red.Residual.NumCols()
 		sol.DominatedRows = len(red.DominatedRows)
@@ -367,13 +396,40 @@ func (f *Flow) SolveMatrix(m *dmatrix.Matrix, gen tpg.Generator, opts Options) (
 			}
 			sol.SolverNodes = sub.Nodes
 			sol.Optimal = opts.Solver == SolverExact && sub.Optimal
+			if opts.Solver == SolverExact {
+				// Essential rows are in every cover, so they shift the
+				// residual's root bound one-for-one.
+				sol.RootLB = sub.RootLB + len(red.Essential)
+			}
 		} else {
 			sol.Optimal = true
+			if opts.Solver == SolverExact {
+				sol.RootLB = len(chosen) // essentials alone: the cover is proven
+			}
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown solver kind %d", int(opts.Solver))
 	}
+	coveringAttrs(csp, sol, len(necessary))
 	return f.assemble(sol, m, chosen, necessary, opts)
+}
+
+// coveringAttrs annotates a covering span with the solve's anatomy (a
+// nil span no-ops).
+func coveringAttrs(csp *obs.Span, sol *Solution, essential int) {
+	csp.SetInt("residual_rows", int64(sol.ResidualRows))
+	csp.SetInt("residual_cols", int64(sol.ResidualCols))
+	csp.SetInt("essential", int64(essential))
+	csp.SetInt("nodes", sol.SolverNodes)
+	csp.SetInt("optimal", b2i(sol.Optimal))
+	csp.End()
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // assemble verifies the chosen rows, assigns faults, trims test lengths and

@@ -29,6 +29,7 @@ type solutionJSON struct {
 	ImpliedCols    int   `json:"implied_cols,omitempty"`
 	ReductionIters int   `json:"reduction_iters,omitempty"`
 	SolverNodes    int64 `json:"solver_nodes,omitempty"`
+	RootLB         int   `json:"root_lb,omitempty"`
 	Optimal        bool  `json:"optimal"`
 
 	GateEvals   int64 `json:"gate_evals,omitempty"`
@@ -61,6 +62,7 @@ func (s *Solution) encode() solutionJSON {
 		ImpliedCols:    s.ImpliedCols,
 		ReductionIters: s.ReductionIters,
 		SolverNodes:    s.SolverNodes,
+		RootLB:         s.RootLB,
 		Optimal:        s.Optimal,
 		GateEvals:      s.GateEvals,
 		TripletSims:    s.TripletSims,
@@ -135,6 +137,7 @@ func decodeSolution(in solutionJSON) (*Solution, error) {
 		ImpliedCols:    in.ImpliedCols,
 		ReductionIters: in.ReductionIters,
 		SolverNodes:    in.SolverNodes,
+		RootLB:         in.RootLB,
 		Optimal:        in.Optimal,
 		GateEvals:      in.GateEvals,
 		TripletSims:    in.TripletSims,

@@ -81,6 +81,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dmatrix"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 	"repro/internal/tpg"
 )
@@ -89,6 +90,10 @@ import (
 // flight — the best cover known so far — delivered to the observer of
 // Engine.SolveObserved. Re-exported from internal/setcover.
 type Incumbent = setcover.Incumbent
+
+// Sample is one periodic search-progress snapshot delivered to
+// SolveObserver.OnSample. Re-exported from internal/setcover.
+type Sample = setcover.Sample
 
 // ArtifactStore is the optional second level of an Engine's artifact
 // caches: persistence of Prepare flows and Detection Matrices across
@@ -277,8 +282,13 @@ func inlineID(source string) string {
 func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 	load func() (*netlist.Circuit, error)) (*core.Flow, bool, error) {
 
+	// The prepare span is per caller; the inner atpg span is recorded by
+	// the flight leader only (a shared flight's inner work happens once,
+	// on the leader's trace — joiners see a prepare span with cache_hit).
+	sctx, sp := obs.StartSpan(ctx, "prepare")
+	defer sp.End()
 	var fromStore bool
-	f, hit, err := e.flows.Do(ctx, key, func(fctx context.Context) (*core.Flow, error) {
+	f, hit, err := e.flows.Do(sctx, key, func(fctx context.Context) (*core.Flow, error) {
 		if e.store != nil {
 			switch f, err := e.store.LoadFlow(key); {
 			case err != nil:
@@ -294,8 +304,10 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		if err != nil {
 			return nil, err
 		}
+		actx, asp := obs.StartSpan(fctx, "atpg")
+		defer asp.End()
 		o := atpgOpts
-		o.Context = fctx
+		o.Context = actx
 		if o.Parallelism == 0 {
 			o.Parallelism = e.parallelism
 		}
@@ -303,6 +315,8 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		if err != nil {
 			return nil, err
 		}
+		asp.SetInt("patterns", int64(len(f.Patterns)))
+		asp.SetInt("target_faults", int64(len(f.TargetFaults)))
 		if e.store != nil {
 			if serr := e.store.SaveFlow(key, f); serr != nil {
 				e.storeWriteErrors.Add(1)
@@ -310,6 +324,8 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		}
 		return f, nil
 	})
+	sp.SetInt("cache_hit", b2i(hit))
+	sp.SetInt("store_hit", b2i(fromStore))
 	if err != nil {
 		return nil, hit, fmt.Errorf("engine: prepare %s: %w", key, err)
 	}
@@ -322,6 +338,13 @@ func (e *Engine) flow(ctx context.Context, key string, atpgOpts atpg.Options,
 		e.prepareBuilds.Add(1)
 	}
 	return f, hit || fromStore, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // prepareNamed is the one derivation of a named benchmark's flow key and
@@ -417,8 +440,9 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 		cycles = core.DefaultCycles
 	}
 	mkey := matrixKey{flow: flowKey, kind: kind, cycles: cycles, seed: opts.Seed}
+	mctx, msp := obs.StartSpan(ctx, "matrix")
 	var fromStore bool
-	m, hit, err := e.matrices.Do(ctx, mkey, func(fctx context.Context) (*dmatrix.Matrix, error) {
+	m, hit, err := e.matrices.Do(mctx, mkey, func(fctx context.Context) (*dmatrix.Matrix, error) {
 		if e.store != nil {
 			switch m, err := e.store.LoadMatrix(mkey.String()); {
 			case err != nil:
@@ -430,12 +454,16 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 				e.storeMisses.Add(1)
 			}
 		}
+		bctx, bsp := obs.StartSpan(fctx, "matrix.build")
+		defer bsp.End()
 		o := opts
-		o.Context = fctx
+		o.Context = bctx
 		m, err := flow.BuildMatrix(gen, o)
 		if err != nil {
 			return nil, err
 		}
+		bsp.SetInt("rows", int64(len(m.Rows)))
+		bsp.SetInt("gate_evals", m.GateEvals)
 		if e.store != nil {
 			if serr := e.store.SaveMatrix(mkey.String(), m); serr != nil {
 				e.storeWriteErrors.Add(1)
@@ -443,6 +471,9 @@ func (e *Engine) solveKind(ctx context.Context, flowKey string, flow *core.Flow,
 		}
 		return m, nil
 	})
+	msp.SetInt("cache_hit", b2i(hit))
+	msp.SetInt("store_hit", b2i(fromStore))
+	msp.End()
 	if err != nil {
 		return nil, hit, fmt.Errorf("engine: matrix %s/%s/T=%d: %w", flowKey, kind, cycles, err)
 	}

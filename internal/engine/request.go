@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 )
 
@@ -102,6 +103,13 @@ type Response struct {
 	// regardless of the context. A request cancelled before any solution
 	// existed returns an error instead.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Timing is the per-phase breakdown of this solve: the subtree of
+	// spans under the solve's root span (prepare/atpg, matrix/fsim,
+	// reduce, ascent, branch-and-bound), as recorded on the obs.Trace the
+	// request's context carried. It is nil when the context carried no
+	// trace — tracing is strictly additive and never part of the solve's
+	// result, its cache keys, or any persisted artifact.
+	Timing *obs.TraceData `json:"timing,omitempty"`
 }
 
 // RouteKey returns a Request's circuit identity ("bench:<name>" or
@@ -244,6 +252,26 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
 // lock: it must return quickly and must not call back into the Engine. A
 // nil onIncumbent makes SolveObserved exactly Solve.
 func (e *Engine) SolveObserved(ctx context.Context, req Request, onIncumbent func(Incumbent)) (*Response, error) {
+	return e.SolveWithObserver(ctx, req, SolveObserver{OnIncumbent: onIncumbent})
+}
+
+// A SolveObserver bundles the anytime streams of one exact covering
+// solve. Both callbacks run on solver goroutines and must return
+// quickly without calling back into the Engine; either may be nil.
+type SolveObserver struct {
+	// OnIncumbent receives every improvement of the best cover found so
+	// far, offset to whole-solution totals (see SolveObserved).
+	OnIncumbent func(Incumbent)
+	// OnSample receives periodic search-progress samples (node count,
+	// best cost, root lower bound) at a coarse, solver-chosen cadence —
+	// the raw material of a bound-gap/nodes-per-second timeline. Sample
+	// values are offset to whole-solution totals like incumbents.
+	OnSample func(setcover.Sample)
+}
+
+// SolveWithObserver is SolveObserved with the full observer bundle: the
+// incumbent stream plus periodic search-progress samples.
+func (e *Engine) SolveWithObserver(ctx context.Context, req Request, watch SolveObserver) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -258,14 +286,19 @@ func (e *Engine) SolveObserved(ctx context.Context, req Request, onIncumbent fun
 	if err != nil {
 		return nil, err
 	}
-	opts.Exact.OnIncumbent = onIncumbent
+	opts.Exact.OnIncumbent = watch.OnIncumbent
+	opts.Exact.OnSample = watch.OnSample
+	sctx, sp := obs.StartSpan(ctx, "solve")
+	defer sp.End()
+	sp.SetStr("tpg", req.TPG)
 	atpgOpts := req.atpgOptions(e)
 	key := flowKeyFor(id, atpgOpts)
-	flow, prepHit, err := e.flow(ctx, key, atpgOpts, load)
+	flow, prepHit, err := e.flow(sctx, key, atpgOpts, load)
 	if err != nil {
 		return nil, err
 	}
-	sol, matHit, err := e.solveKind(ctx, key, flow, req.TPG, opts)
+	sp.SetStr("circuit", flow.Circuit.Name)
+	sol, matHit, err := e.solveKind(sctx, key, flow, req.TPG, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +325,10 @@ func (e *Engine) SolveObserved(ctx context.Context, req Request, onIncumbent fun
 		PrepareCached: prepHit,
 		MatrixCached:  matHit,
 		Interrupted:   exactPath && ctx.Err() != nil && !sol.Optimal,
+	}
+	sp.End()
+	if tr := obs.FromContext(ctx); tr != nil {
+		resp.Timing = tr.Subtree(sp.ID())
 	}
 	return resp, nil
 }

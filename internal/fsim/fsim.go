@@ -48,6 +48,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logicsim"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -276,6 +277,16 @@ func (s *Simulator) Run(faults []fault.Fault, patterns []bitvec.Vector, opts Opt
 		if opts.DropDetected && len(live) == 0 {
 			break
 		}
+	}
+	// Fold effort counters onto the enclosing trace span (if any): many
+	// Run calls — dmatrix simulates one row per call — accumulate into a
+	// single span, and AddInt commutes, so the totals are
+	// schedule-independent. No per-run span is created: that would cost a
+	// span per matrix row.
+	if sp := obs.CurrentSpan(opts.Context); sp != nil {
+		sp.AddInt("gate_evals", res.GateEvals)
+		sp.AddInt("patterns_applied", int64(res.PatternsApplied))
+		sp.AddInt("runs", 1)
 	}
 	return res, nil
 }

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns the net/http/pprof surface on a private mux, for
+// daemons that expose profiling behind an opt-in flag. Serving it on its
+// own listener (rather than mounting it on the API mux) keeps profiling
+// off the service port entirely when the flag is unset, and off any
+// port reachable by API clients when it is.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "sync"
+
+// A Recorder is the bounded in-memory flight recorder behind
+// GET /v1/traces: it retains the most recent completed traces, evicting
+// the oldest once full. Recording a trace ID already present merges the
+// new spans into the retained entry (that is how a gateway folds
+// replica-side spans into its own view of a request, and how several
+// requests continuing one trace accumulate).
+type Recorder struct {
+	capacity int
+
+	mu   sync.Mutex
+	ring []*TraceData          // guarded by mu; oldest first
+	byID map[string]*TraceData // guarded by mu
+}
+
+// DefaultRecorderCapacity is the retention bound used when a Recorder
+// is constructed with a non-positive capacity.
+const DefaultRecorderCapacity = 128
+
+// NewRecorder returns a Recorder retaining at most capacity traces.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{capacity: capacity, byID: make(map[string]*TraceData)}
+}
+
+// Record retains td (a snapshot — the Recorder takes ownership). A nil
+// td, or one without a trace ID, is ignored.
+func (r *Recorder) Record(td *TraceData) {
+	if r == nil || td == nil || td.TraceID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.byID[td.TraceID]; ok {
+		have.Spans = append(have.Spans, td.Spans...)
+		have.Dropped += td.Dropped
+		if len(have.Spans) > maxSpans {
+			have.Dropped += len(have.Spans) - maxSpans
+			have.Spans = have.Spans[:maxSpans]
+		}
+		return
+	}
+	if len(r.ring) >= r.capacity {
+		evict := r.ring[0]
+		r.ring = r.ring[1:]
+		delete(r.byID, evict.TraceID)
+	}
+	r.ring = append(r.ring, td)
+	r.byID[td.TraceID] = td
+}
+
+// Get returns a copy of the retained trace with the given ID (a copy,
+// because a later Record for the same ID may merge more spans in while
+// the caller is serializing).
+func (r *Recorder) Get(id string) (*TraceData, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	td, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return copyTrace(td), true
+}
+
+// List returns copies of the retained traces, newest first.
+func (r *Recorder) List() []*TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceData, 0, len(r.ring))
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		out = append(out, copyTrace(r.ring[i]))
+	}
+	return out
+}
+
+func copyTrace(td *TraceData) *TraceData {
+	spans := make([]SpanData, len(td.Spans))
+	copy(spans, td.Spans)
+	cp := *td
+	cp.Spans = spans
+	return &cp
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ctxutil"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // A job is one asynchronous solve: created by POST /v1/jobs, observed by
@@ -42,14 +43,51 @@ type job struct {
 	created time.Time
 	cancel  context.CancelFunc
 
-	mu       sync.Mutex
-	state    jobState          // guarded by mu
-	started  time.Time         // guarded by mu
-	finished time.Time         // guarded by mu
-	best     *engine.Incumbent // guarded by mu; latest anytime snapshot, nil before the first
-	bestAt   time.Time         // guarded by mu
-	resp     *engine.Response  // guarded by mu
-	errMsg   string            // guarded by mu
+	mu         sync.Mutex
+	state      jobState          // guarded by mu
+	started    time.Time         // guarded by mu
+	finished   time.Time         // guarded by mu
+	best       *engine.Incumbent // guarded by mu; latest anytime snapshot, nil before the first
+	bestAt     time.Time         // guarded by mu
+	resp       *engine.Response  // guarded by mu
+	errMsg     string            // guarded by mu
+	timeline   []timelinePoint   // guarded by mu; incumbent + sample history, bounded
+	lastSample *timelinePoint    // guarded by mu; previous sample, for the nodes/sec delta
+}
+
+// A timelinePoint is one entry of a job's search-progress timeline: an
+// "incumbent" point for every improvement of the best cover, a "sample"
+// point at the solver's coarse progress cadence carrying the bound gap
+// and the node throughput since the previous sample.
+type timelinePoint struct {
+	T    time.Time `json:"t"`
+	Kind string    `json:"kind"` // "incumbent" or "sample"
+	// Cost is the best cover's cost at this point (whole-solution totals,
+	// essential rows included).
+	Cost int `json:"cost"`
+	// Rows is the incumbent cover's cardinality (incumbent points only).
+	Rows  int   `json:"rows,omitempty"`
+	Nodes int64 `json:"nodes"`
+	// RootLB and Gap report the root lower bound and the relative gap
+	// (cost − root LB) / cost (sample points only; the bound exists once
+	// the Lagrangian root ascent has run).
+	RootLB int     `json:"root_lb,omitempty"`
+	Gap    float64 `json:"gap,omitempty"`
+	// NodesPerSec is the search throughput since the previous sample.
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
+}
+
+// maxTimeline bounds a job's retained timeline. Once full, the final slot
+// tracks the newest point, so the latest state is always visible even on
+// very long solves.
+const maxTimeline = 256
+
+func (j *job) appendPointLocked(p timelinePoint) {
+	if len(j.timeline) < maxTimeline {
+		j.timeline = append(j.timeline, p)
+		return
+	}
+	j.timeline[len(j.timeline)-1] = p
 }
 
 // observe is the incumbent callback threaded into the exact solver; it
@@ -57,7 +95,30 @@ type job struct {
 func (j *job) observe(inc engine.Incumbent) {
 	j.mu.Lock()
 	j.best, j.bestAt = &inc, time.Now()
+	j.appendPointLocked(timelinePoint{
+		T: j.bestAt, Kind: "incumbent", Cost: inc.Cost, Rows: inc.Rows, Nodes: inc.Nodes,
+	})
 	j.mu.Unlock()
+}
+
+// observeSample is the periodic search-progress callback: it derives the
+// bound gap from the sample and the throughput from the previous one.
+func (j *job) observeSample(sm engine.Sample) {
+	now := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := timelinePoint{T: now, Kind: "sample", Cost: sm.Best, Nodes: sm.Nodes, RootLB: sm.RootLB}
+	if sm.Best > 0 && sm.RootLB > 0 {
+		p.Gap = float64(sm.Best-sm.RootLB) / float64(sm.Best)
+	}
+	if ls := j.lastSample; ls != nil {
+		if dt := now.Sub(ls.T).Seconds(); dt > 0 {
+			p.NodesPerSec = float64(sm.Nodes-ls.Nodes) / dt
+		}
+	}
+	j.appendPointLocked(p)
+	cp := p
+	j.lastSample = &cp
 }
 
 // jobView is the wire form of a job's status.
@@ -76,6 +137,9 @@ type jobView struct {
 	// Response is present once State is "done".
 	Response *engine.Response `json:"response,omitempty"`
 	Error    string           `json:"error,omitempty"`
+	// Timeline is the bounded incumbent/sample history of the search —
+	// cost improvements, bound gaps and node throughput over time.
+	Timeline []timelinePoint `json:"timeline,omitempty"`
 }
 
 func (j *job) view() jobView {
@@ -100,6 +164,9 @@ func (j *job) view() jobView {
 	if j.best != nil {
 		t := j.bestAt
 		v.BestAt = &t
+	}
+	if len(j.timeline) > 0 {
+		v.Timeline = append([]timelinePoint(nil), j.timeline...)
 	}
 	if j.state == jobDone {
 		v.Response = j.resp
@@ -259,7 +326,16 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	j.state, j.started = jobRunning, time.Now()
 	j.mu.Unlock()
 
-	resp, err := s.eng.SolveObserved(ctx, j.req, j.observe)
+	resp, err := s.eng.SolveWithObserver(ctx, j.req, engine.SolveObserver{
+		OnIncumbent: j.observe,
+		OnSample:    j.observeSample,
+	})
+	// The job's trace completes here, on the job goroutine — record it so
+	// GET /v1/traces serves the solve's phase breakdown (merged by trace
+	// ID with the creating request's span).
+	if tr := obs.FromContext(ctx); tr != nil {
+		s.recorder.Record(tr.Data())
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
@@ -292,6 +368,16 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	// The job outlives the creating request, so it gets its own Trace
+	// continuing the request's trace ID: the recorder merges both by ID,
+	// stitching the accept span and the solve's phase spans together.
+	var jtr *obs.Trace
+	if tid, pid, ok := obs.ParseTraceparent(obs.Traceparent(r.Context())); ok {
+		jtr = obs.NewTraceWithParent(tid, pid, s.cfg.ProcessName)
+	} else {
+		jtr = obs.NewTrace(s.cfg.ProcessName)
+	}
+	ctx = obs.ContextWithTrace(ctx, jtr)
 	j := s.jobs.create(req, cancel)
 	go s.runJob(ctx, j)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)

@@ -3,22 +3,139 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/store"
 )
 
-// metrics holds the HTTP request counters; everything else on /metrics is
-// read live from the engine and the server gauges at scrape time. The
-// exposition is hand-rolled Prometheus text format — one small daemon does
-// not need a client library dependency.
+// metrics holds the HTTP request counters and the solve histograms;
+// everything else on /metrics is read live from the engine and the server
+// gauges at scrape time. The exposition is hand-rolled Prometheus text
+// format — one small daemon does not need a client library dependency.
 type metrics struct {
 	mu           sync.Mutex
 	requests     map[requestKey]int64 // guarded by mu
 	encodeErrors int64                // guarded by mu; response bodies that failed to encode mid-write
+
+	solveDur   map[string]*histogram // guarded by mu; solve latency by route
+	phaseDur   map[string]*histogram // guarded by mu; phase latency by span name
+	solveNodes *histogram            // guarded by mu; B&B nodes per solve
+	rootGap    *histogram            // guarded by mu; (cost − root LB) / cost per exact solve
+}
+
+// A histogram is one fixed-bucket Prometheus histogram. Buckets hold
+// per-bucket (not cumulative) counts; the exposition accumulates.
+type histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; the last slot is the +Inf bucket
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, so v lands in bucket le=bounds[i]
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+func (h *histogram) clone() *histogram {
+	cp := &histogram{bounds: h.bounds, counts: make([]int64, len(h.counts)), sum: h.sum, n: h.n}
+	copy(cp.counts, h.counts)
+	return cp
+}
+
+// Bucket layouts: latencies follow the usual power-of-roughly-2.5 ladder,
+// node counts are decades (a B&B search spans seven orders of magnitude
+// across the corpus), and the gap buckets resolve the region near
+// optimality where the Lagrangian bound usually lands.
+var (
+	durationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	nodeBuckets     = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+	gapBuckets      = []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5, 1}
+)
+
+// observeSolve folds one finished solve into the telemetry histograms:
+// end-to-end latency by route, per-phase latency walked from the
+// response's trace subtree, the B&B node count, and the root lower-bound
+// gap relative to the objective actually minimized.
+func (m *metrics) observeSolve(route string, req engine.Request, resp *engine.Response, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.solveDur == nil {
+		m.solveDur = make(map[string]*histogram)
+	}
+	h := m.solveDur[route]
+	if h == nil {
+		h = newHistogram(durationBuckets)
+		m.solveDur[route] = h
+	}
+	h.observe(d.Seconds())
+	if resp == nil || resp.Solution == nil {
+		return
+	}
+	sol := resp.Solution
+	if m.solveNodes == nil {
+		m.solveNodes = newHistogram(nodeBuckets)
+	}
+	m.solveNodes.observe(float64(sol.SolverNodes))
+	if sol.RootLB > 0 {
+		cost := len(sol.Triplets)
+		if req.Objective == "testlength" {
+			cost = sol.TestLength
+		}
+		if cost > 0 {
+			if m.rootGap == nil {
+				m.rootGap = newHistogram(gapBuckets)
+			}
+			m.rootGap.observe(float64(cost-sol.RootLB) / float64(cost))
+		}
+	}
+	if resp.Timing != nil {
+		if m.phaseDur == nil {
+			m.phaseDur = make(map[string]*histogram)
+		}
+		for _, sp := range resp.Timing.Spans {
+			ph := m.phaseDur[sp.Name]
+			if ph == nil {
+				ph = newHistogram(durationBuckets)
+				m.phaseDur[sp.Name] = ph
+			}
+			ph.observe(float64(sp.Duration) / 1e9)
+		}
+	}
+}
+
+// snapshotHistograms copies the histogram state out under the lock, so the
+// exposition writes without holding it.
+func (m *metrics) snapshotHistograms() (solveDur, phaseDur map[string]*histogram, nodes, gap *histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	solveDur = make(map[string]*histogram, len(m.solveDur))
+	for k, h := range m.solveDur {
+		solveDur[k] = h.clone()
+	}
+	phaseDur = make(map[string]*histogram, len(m.phaseDur))
+	for k, h := range m.phaseDur {
+		phaseDur[k] = h.clone()
+	}
+	if m.solveNodes != nil {
+		nodes = m.solveNodes.clone()
+	}
+	if m.rootGap != nil {
+		gap = m.rootGap.clone()
+	}
+	return solveDur, phaseDur, nodes, gap
 }
 
 type requestKey struct {
@@ -133,6 +250,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "reseedd_%s_total %d\n", c.name, c.value)
 	}
 
+	solveDur, phaseDur, nodes, gap := s.metrics.snapshotHistograms()
+	if len(solveDur) > 0 {
+		fmt.Fprintf(w, "# HELP reseedd_solve_duration_seconds End-to-end solve latency, by route.\n")
+		fmt.Fprintf(w, "# TYPE reseedd_solve_duration_seconds histogram\n")
+		for _, route := range sortedKeys(solveDur) {
+			writeHistogram(w, "reseedd_solve_duration_seconds", fmt.Sprintf("route=%q", route), solveDur[route])
+		}
+	}
+	if len(phaseDur) > 0 {
+		fmt.Fprintf(w, "# HELP reseedd_solve_phase_duration_seconds Per-phase solve latency, by trace span name.\n")
+		fmt.Fprintf(w, "# TYPE reseedd_solve_phase_duration_seconds histogram\n")
+		for _, phase := range sortedKeys(phaseDur) {
+			writeHistogram(w, "reseedd_solve_phase_duration_seconds", fmt.Sprintf("phase=%q", phase), phaseDur[phase])
+		}
+	}
+	if nodes != nil {
+		fmt.Fprintf(w, "# HELP reseedd_solve_nodes Branch-and-bound nodes expanded per solve.\n")
+		fmt.Fprintf(w, "# TYPE reseedd_solve_nodes histogram\n")
+		writeHistogram(w, "reseedd_solve_nodes", "", nodes)
+	}
+	if gap != nil {
+		fmt.Fprintf(w, "# HELP reseedd_solve_root_lb_gap Relative gap between the returned cost and the root lower bound, per exact solve.\n")
+		fmt.Fprintf(w, "# TYPE reseedd_solve_root_lb_gap histogram\n")
+		writeHistogram(w, "reseedd_solve_root_lb_gap", "", gap)
+	}
+
 	// Backend liveness is probed at scrape time: a probe is a stat or one
 	// small HTTP round trip, bounded well under any scraper's timeout, and
 	// scrape-time truth beats a cached mark going stale between scrapes.
@@ -149,6 +292,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "reseedd_store_up{backend=%q} %d\n", b.Name, up)
 		}
 	}
+}
+
+// writeHistogram emits one Prometheus histogram series. label is either
+// empty or one `name="value"` pair shared by every sample of the series.
+func writeHistogram(w io.Writer, name, label string, h *histogram) {
+	brace := func(extra string) string {
+		switch {
+		case label == "" && extra == "":
+			return ""
+		case label == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + label + "}"
+		default:
+			return "{" + label + "," + extra + "}"
+		}
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(fmt.Sprintf("le=%q", strconv.FormatFloat(b, 'g', -1, 64))), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, brace(""), h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace(""), h.n)
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// exposition output.
+func sortedKeys(m map[string]*histogram) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // storeProbeTimeout bounds the per-scrape backend probes.

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
@@ -98,10 +99,22 @@ type Config struct {
 	// POST /v1/dist/solve fans the exact search's top-level subtrees out
 	// to them. Empty means distributed solves run on local workers only.
 	Peers []string
+	// DistParallelism caps the in-process workers draining a distributed
+	// solve's branch queue (0 = one per processor). Lowering it shifts
+	// branches toward the configured Peers.
+	DistParallelism int
 	// Advertise is this replica's own base URL as peers reach it. Workers
 	// holding one of our leases exchange incumbents with it; empty
 	// disables the exchange (leases still run, pruning is just local).
 	Advertise string
+	// ProcessName labels the spans this server records (obs.SpanData's
+	// process field), so a stitched cross-process trace names which hop
+	// did what. Default "reseedd".
+	ProcessName string
+	// TraceCapacity bounds the traces the in-memory flight recorder
+	// behind GET /v1/traces retains; non-positive means
+	// obs.DefaultRecorderCapacity.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.ProcessName == "" {
+		c.ProcessName = "reseedd"
+	}
 	return c
 }
 
@@ -143,8 +159,9 @@ type Server struct {
 	queued   atomic.Int64  // synchronous requests waiting for a slot
 	draining atomic.Bool
 
-	jobs    jobTable
-	metrics metrics
+	jobs     jobTable
+	metrics  metrics
+	recorder *obs.Recorder // flight recorder behind GET /v1/traces
 
 	board      *cluster.Board       // incumbent blackboard for distributed solves
 	coord      *cluster.Coordinator // fans /v1/dist/solve out across Peers
@@ -161,14 +178,16 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		start: time.Now(),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.recorder = obs.NewRecorder(cfg.TraceCapacity)
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.jobs.init(cfg.MaxJobs)
 	s.board = cluster.NewBoard()
 	s.distClient = &http.Client{Timeout: 5 * time.Second}
 	s.coord = &cluster.Coordinator{
-		Peers: cfg.Peers,
-		Self:  cfg.Advertise,
-		Board: s.board,
+		Peers:       cfg.Peers,
+		Self:        cfg.Advertise,
+		Board:       s.board,
+		Parallelism: cfg.DistParallelism,
 	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -180,6 +199,8 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/store/{kind}/{hash}", s.handleStoreGet)
 	s.mux.HandleFunc("PUT /v1/store/{kind}/{hash}", s.handleStorePut)
 	s.mux.HandleFunc("POST /v1/dist/solve", s.handleDistSolve)
@@ -189,12 +210,30 @@ func New(eng *engine.Engine, cfg Config) *Server {
 }
 
 // ServeHTTP dispatches to the API, recording per-route/per-code request
-// counters for /metrics.
+// counters for /metrics and a per-request trace for /v1/traces. A request
+// arriving with a valid W3C traceparent header continues that trace (the
+// root span here parents to the caller's span); a malformed or absent
+// header degrades to a fresh root trace, never to an error.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	// Bound every body before any handler buffers it: an unvalidated
 	// multi-gigabyte inline .bench must not be able to exhaust memory.
 	r.Body = http.MaxBytesReader(rw, r.Body, s.cfg.MaxBodyBytes)
+	var tr *obs.Trace
+	var sp *obs.Span
+	if tracedPath(r.URL.Path) {
+		if tid, pid, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+			tr = obs.NewTraceWithParent(tid, pid, s.cfg.ProcessName)
+		} else {
+			tr = obs.NewTrace(s.cfg.ProcessName)
+		}
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		ctx, sp = obs.StartSpan(ctx, "request")
+		r = r.WithContext(ctx)
+		// Expose the server-side position so a caller without its own
+		// tracing can still fetch the trace from /v1/traces.
+		rw.Header().Set("Traceparent", obs.FormatTraceparent(tr.ID(), sp.ID()))
+	}
 	s.mux.ServeHTTP(rw, r)
 	route := r.Pattern
 	if route == "" {
@@ -203,6 +242,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		route = route[i+1:] // drop the method; the path names the endpoint
 	}
 	s.metrics.incRequest(route, rw.code)
+	if tr != nil {
+		sp.SetName(route) // the dispatched route is the span's best name, known only now
+		sp.SetStr("method", r.Method)
+		sp.SetInt("code", int64(rw.code))
+		sp.End()
+		s.recorder.Record(tr.Data())
+	}
+}
+
+// tracedPath excludes the read-side plumbing from tracing: scrapes and
+// probes arrive every few seconds and would evict real solve traces from
+// the bounded recorder, and tracing the trace API would do the same.
+func tracedPath(p string) bool {
+	return p != "/metrics" && p != "/healthz" && !strings.HasPrefix(p, "/v1/traces")
 }
 
 type statusWriter struct {
@@ -360,11 +413,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	start := time.Now()
 	resp, err := s.eng.Solve(ctx, req)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.metrics.observeSolve("/v1/solve", req, resp, time.Since(start))
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -378,6 +433,9 @@ type batchRequest struct {
 type batchResult struct {
 	Response *engine.Response `json:"response,omitempty"`
 	Error    string           `json:"error,omitempty"`
+	// ElapsedMS is this member's wall-clock solve time in milliseconds;
+	// the per-phase breakdown rides inside Response.Timing.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -410,11 +468,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]batchResult, len(batch.Requests))
 	workers := parallel.Degree(s.cfg.BatchParallelism)
 	_ = parallel.ForEach(workers, len(batch.Requests), func(_, i int) error { // infallible: the worker fn below always returns nil
+		start := time.Now()
 		resp, err := s.eng.Solve(ctx, batch.Requests[i])
+		elapsed := time.Since(start)
+		ms := float64(elapsed) / float64(time.Millisecond)
 		if err != nil {
-			results[i] = batchResult{Error: err.Error()}
+			results[i] = batchResult{Error: err.Error(), ElapsedMS: ms}
 		} else {
-			results[i] = batchResult{Response: resp}
+			results[i] = batchResult{Response: resp, ElapsedMS: ms}
+			s.metrics.observeSolve("/v1/batch", batch.Requests[i], resp, elapsed)
 		}
 		return nil // sibling instances proceed regardless
 	})

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// traceSummary is one row of GET /v1/traces: enough to pick a trace out
+// of the flight recorder without shipping every span.
+type traceSummary struct {
+	TraceID string `json:"trace_id"`
+	Process string `json:"process,omitempty"`
+	Spans   int    `json:"spans"`
+	Dropped int    `json:"dropped_spans,omitempty"`
+	// Root and DurationNanos describe the trace's root span (the span
+	// with no locally recorded parent; best-effort — a trace continued
+	// from another process may hold none of its own).
+	Root          string `json:"root,omitempty"`
+	DurationNanos int64  `json:"duration_nanos,omitempty"`
+}
+
+// handleTraceList serves the flight recorder's retained traces, newest
+// first, as summaries.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	traces := s.recorder.List()
+	out := make([]traceSummary, 0, len(traces))
+	for _, td := range traces {
+		out = append(out, summarize(td))
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// handleTraceGet serves one full trace by ID.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td, ok := s.recorder.Get(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown trace " + id})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, td)
+}
+
+func summarize(td *obs.TraceData) traceSummary {
+	sum := traceSummary{
+		TraceID: td.TraceID,
+		Process: td.Process,
+		Spans:   len(td.Spans),
+		Dropped: td.Dropped,
+	}
+	// The root is the earliest-started span whose parent is not recorded
+	// locally (or absent entirely): for a fresh trace that is the request
+	// span, for a continued one the first local span under the remote
+	// parent.
+	local := make(map[string]bool, len(td.Spans))
+	for _, sp := range td.Spans {
+		local[sp.SpanID] = true
+	}
+	var root *obs.SpanData
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		if sp.Parent != "" && local[sp.Parent] {
+			continue
+		}
+		if root == nil || sp.Start < root.Start {
+			root = sp
+		}
+	}
+	if root != nil {
+		sum.Root = root.Name
+		sum.DurationNanos = root.Duration
+	}
+	return sum
+}

@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -100,6 +101,18 @@ type ExactOptions struct {
 	// offset snapshots by the essential rows chosen outside the residual
 	// solve, so observers see whole-solution totals.
 	OnIncumbent func(Incumbent)
+	// OnSample, when non-nil, observes the search's progress at a coarse,
+	// engine-chosen node cadence: each call carries the nodes expanded so
+	// far, the best cover cost known so far, and the root lower bound —
+	// the raw material of a bound-gap / nodes-per-second timeline. One
+	// sample always fires right after the root node, so even tiny solves
+	// produce a timeline point. Calls are serialized; the callback runs
+	// on solver goroutines and must return quickly without calling back
+	// into the solver. Samples are telemetry only: their values (like
+	// Solution.Nodes) may vary run to run under Parallelism > 1, and
+	// registering the callback never changes the returned Solution. The
+	// SolveMinimal pipelines offset samples like incumbents.
+	OnSample func(Sample)
 
 	// Bound selects the lower bound the search prunes with: BoundAuto (the
 	// default) and BoundLagrangian use the Lagrangian dual bound — root
@@ -141,22 +154,47 @@ func (o ExactOptions) ascentBudgets() (root, perNode int) {
 	return root, perNode
 }
 
-// WithIncumbentOffset returns options whose OnIncumbent snapshots are
-// shifted by the given cost and cardinality before reaching the original
-// callback. The reduction pipelines use it to account for the essential
-// rows committed outside the residual solve, so observers see totals for
-// the whole problem; options without a callback pass through unchanged.
+// WithIncumbentOffset returns options whose OnIncumbent and OnSample
+// snapshots are shifted by the given cost and cardinality before
+// reaching the original callbacks. The reduction pipelines use it to
+// account for the essential rows committed outside the residual solve,
+// so observers see totals for the whole problem; options without
+// callbacks pass through unchanged.
 func (o ExactOptions) WithIncumbentOffset(cost, rows int) ExactOptions {
-	if o.OnIncumbent == nil || (cost == 0 && rows == 0) {
+	if (o.OnIncumbent == nil && o.OnSample == nil) || (cost == 0 && rows == 0) {
 		return o
 	}
-	inner := o.OnIncumbent
-	o.OnIncumbent = func(inc Incumbent) {
-		inc.Cost += cost
-		inc.Rows += rows
-		inner(inc)
+	if inner := o.OnIncumbent; inner != nil {
+		o.OnIncumbent = func(inc Incumbent) {
+			inc.Cost += cost
+			inc.Rows += rows
+			inner(inc)
+		}
+	}
+	if inner := o.OnSample; inner != nil {
+		o.OnSample = func(s Sample) {
+			s.Best += cost
+			s.RootLB += cost
+			inner(s)
+		}
 	}
 	return o
+}
+
+// Sample is one periodic search-progress snapshot delivered to
+// ExactOptions.OnSample. It deliberately carries no timestamp — the
+// receiver stamps samples on arrival, so the solver core stays free of
+// wall-clock reads.
+type Sample struct {
+	// Nodes is the number of branch-and-bound nodes expanded so far.
+	Nodes int64
+	// Best is the best cover cost known so far (the shared incumbent,
+	// offset like OnIncumbent snapshots).
+	Best int
+	// RootLB is the root lower bound on the optimal cost (see
+	// Solution.RootLB), offset like Best. Best-RootLB is the proven
+	// optimality gap's upper bound at sample time.
+	RootLB int
 }
 
 // Incumbent is one anytime progress snapshot of an exact covering solve:
@@ -222,6 +260,9 @@ type engine struct {
 	bestCost    int             // guarded by mu
 	bestBranch  int             // guarded by mu
 	onIncumbent func(Incumbent) // set once at construction, fired under mu
+
+	sampleMu sync.Mutex
+	onSample func(Sample) // set once at construction, fired under sampleMu
 }
 
 func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts ExactOptions) *engine {
@@ -236,6 +277,7 @@ func newEngine(p *Problem, weights []int, seed Solution, seedCost int, opts Exac
 		bestCost:    seedCost,
 		bestBranch:  unsetBranch,
 		onIncumbent: opts.OnIncumbent,
+		onSample:    opts.OnSample,
 	}
 	if e.maxNodes == 0 {
 		e.maxNodes = defaultMaxNodes
@@ -316,6 +358,19 @@ func (e *engine) record(cost int, rows []int, branch int) {
 			return
 		}
 	}
+}
+
+// sample delivers one OnSample snapshot. rootLB is written once before
+// the fan-out and read-only afterwards; sampleMu serializes the
+// callback itself.
+func (e *engine) sample(n int64) {
+	if e.onSample == nil {
+		return
+	}
+	s := Sample{Nodes: n, Best: int(e.sharedCost.Load()), RootLB: e.rootLB}
+	e.sampleMu.Lock()
+	e.onSample(s)
+	e.sampleMu.Unlock()
 }
 
 // pullBound folds the external incumbent (when configured) into
@@ -532,6 +587,12 @@ func (t *bbTask) search(chosen []int, cost int, uncovered, banned *bitvec.Set) {
 		}
 		e.pullBound()
 	}
+	// Telemetry sampling at a much coarser cadence than the budget
+	// checks: cheap enough to leave always-on, frequent enough for a
+	// useful nodes/sec trajectory.
+	if n&4095 == 0 {
+		e.sample(n)
+	}
 
 	chosen, cost, infeasible, branchCol := e.propagate(chosen, cost, uncovered, banned, &t.infos)
 	if infeasible {
@@ -701,10 +762,19 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 		e.onIncumbent(Incumbent{Cost: greedy.Cost, Rows: len(greedy.Rows)})
 	}
 
+	_, asp := obs.StartSpan(opts.Context, "ascent")
 	r := e.root(greedy)
+	asp.SetInt("root_lb", int64(e.rootLB))
+	asp.SetInt("greedy_cost", int64(greedy.Cost))
+	asp.End()
+	// One sample right after the root, so even a solve the root resolves
+	// produces a timeline point.
+	e.sample(e.nodes.Load())
 	if r.done {
 		return e.finish(), nil
 	}
+	_, bsp := obs.StartSpan(opts.Context, "bb")
+	bsp.SetInt("branches", int64(len(r.branchRows)))
 	workers := parallel.Degree(opts.Parallelism)
 	_ = parallel.ForEach(workers, len(r.branchRows), func(_, i int) error { // infallible: the worker fn below always returns nil
 		if e.stop.Load() {
@@ -713,5 +783,17 @@ func (p *Problem) solveBB(weights []int, opts ExactOptions) (Solution, error) {
 		e.runBranch(r, i, greedy.Cost)
 		return nil
 	})
-	return e.finish(), nil
+	sol := e.finish()
+	bsp.SetInt("nodes", sol.Nodes)
+	bsp.SetInt("cost", int64(sol.Cost))
+	bsp.SetInt("optimal", b2i(sol.Optimal))
+	bsp.End()
+	return sol, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
